@@ -1,0 +1,175 @@
+// Ablation 3 — the paper's § 6.2 hypothesis, quantified: "an even
+// semantically richer A that could also produce intermediate results ...
+// could further narrow [the] gap". We compare four implementations of the
+// same FM and the same J:
+//
+//   D    dedicated operator            (the baseline)
+//   A    minimal Aggregate + Embed/Unfold loop (Listings 1-5)
+//   A+   multi-output Aggregate (§ 5.1)
+//   A++  eager Aggregate (intermediate results per arrival)
+//
+// Expectation: latency D ≈ A++ << A+ < A, because A++ no longer waits for
+// watermarks at all, while A+ waits one watermark period and A additionally
+// pays the guarded loop.
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "aggbased/aplus.hpp"
+#include "aggbased/eager.hpp"
+#include "aggbased/flatmap.hpp"
+#include "aggbased/join.hpp"
+#include "core/operators/join.hpp"
+#include "core/operators/stateless.hpp"
+#include "core/runtime/measuring_sink.hpp"
+#include "core/runtime/rate_source.hpp"
+#include "core/runtime/threaded_runtime.hpp"
+#include "harness/report.hpp"
+#include "harness/sustainable.hpp"
+
+namespace {
+
+using namespace aggspes;
+using harness::RunConfig;
+using harness::RunResult;
+
+RunResult run_fm_variant(const std::string& impl, double rate,
+                         Timestamp wm_period) {
+  RunConfig cfg;
+  cfg.rate = rate;
+  cfg.wm_period = wm_period;
+  auto gen = [](std::uint64_t i) { return static_cast<int>(i % 997); };
+  FlatMapFn<int, int> fm = [](const int& v) {
+    return std::vector<int>{v * 3, v * 3 + 1};
+  };
+
+  ThreadedFlow flow;
+  const Timestamp flush = 3 * cfg.wm_period + 10;
+  auto& src = flow.add<RateSource<int>>(
+      RateSourceConfig{.rate = cfg.rate,
+                       .duration_s = cfg.duration_s,
+                       .ticks_per_s = cfg.ticks_per_s,
+                       .wm_period = cfg.wm_period,
+                       .flush_horizon = flush},
+      gen);
+  auto& sink = flow.add<MeasuringSink<int>>();
+  if (impl == "D") {
+    auto& op = flow.add<FlatMapOp<int, int>>(fm);
+    flow.connect(src, src.out(), op, op.in());
+    flow.connect(op, op.out(), sink, sink.in());
+  } else if (impl == "A") {
+    AggBasedFlatMap<int, int> op(flow, fm, cfg.wm_period);
+    flow.connect(src, src.out(), op.in_node(), op.in());
+    flow.connect(op.out_node(), op.out(), sink, sink.in());
+  } else if (impl == "A+") {
+    auto& op = make_aplus_flatmap<int, int>(flow, fm);
+    flow.connect(src, src.out(), op, op.in());
+    flow.connect(op, op.out(), sink, sink.in());
+  } else {  // A++
+    auto& op = make_eager_flatmap<int, int>(flow, fm);
+    flow.connect(src, src.out(), op, op.in());
+    flow.connect(op, op.out(), sink, sink.in());
+  }
+  const std::uint64_t t0 = now_ns();
+  flow.run();
+  const std::uint64_t t1 = now_ns();
+  return harness::detail::finalize(cfg, cfg.rate, t0, t1, src.emitted(),
+                                   src.emission_seconds(), sink, 0);
+}
+
+RunResult run_join_variant(const std::string& impl, double rate,
+                           Timestamp wm_period) {
+  RunConfig cfg;
+  cfg.rate = rate;
+  cfg.wm_period = wm_period;
+  auto gen_l = [](std::uint64_t i) { return static_cast<int>(i % 64); };
+  auto gen_r = [](std::uint64_t i) { return static_cast<int>((i * 7) % 64); };
+  const WindowSpec spec{.advance = 500, .size = 1000};
+  auto key = [](const int& v) { return v % 8; };
+  auto pred = [](const int& a, const int& b) { return a < b; };
+
+  ThreadedFlow flow;
+  const Timestamp flush = spec.size + 3 * cfg.wm_period + 10;
+  auto mk_src = [&](auto gen) -> RateSource<int>& {
+    return flow.add<RateSource<int>>(
+        RateSourceConfig{.rate = cfg.rate / 2,
+                         .duration_s = cfg.duration_s,
+                         .ticks_per_s = cfg.ticks_per_s,
+                         .wm_period = cfg.wm_period,
+                         .flush_horizon = flush},
+        gen);
+  };
+  auto& src_l = mk_src(gen_l);
+  auto& src_r = mk_src(gen_r);
+  auto& sink = flow.add<MeasuringSink<std::pair<int, int>>>();
+  if (impl == "D") {
+    auto& op = flow.add<JoinOp<int, int, int>>(spec, key, key, pred);
+    flow.connect(src_l, src_l.out(), op, op.in_left());
+    flow.connect(src_r, src_r.out(), op, op.in_right());
+    flow.connect(op, op.out(), sink, sink.in());
+  } else if (impl == "A") {
+    AggBasedJoin<int, int, int> op(flow, spec, key, key, pred,
+                                   cfg.wm_period);
+    flow.connect(src_l, src_l.out(), op.left_in_node(), op.left_in());
+    flow.connect(src_r, src_r.out(), op.right_in_node(), op.right_in());
+    flow.connect(op.out_node(), op.out(), sink, sink.in());
+  } else if (impl == "A+") {
+    AplusJoin<int, int, int> op(flow, spec, key, key, pred);
+    flow.connect(src_l, src_l.out(), op.left_in_node(), op.left_in());
+    flow.connect(src_r, src_r.out(), op.right_in_node(), op.right_in());
+    flow.connect(op.out_node(), op.out(), sink, sink.in());
+  } else {  // A++
+    EagerJoin<int, int, int> op(flow, spec, key, key, pred);
+    flow.connect(src_l, src_l.out(), op.left_in_node(), op.left_in());
+    flow.connect(src_r, src_r.out(), op.right_in_node(), op.right_in());
+    flow.connect(op.out_node(), op.out(), sink, sink.in());
+  }
+  const std::uint64_t t0 = now_ns();
+  flow.run();
+  const std::uint64_t t1 = now_ns();
+  return harness::detail::finalize(cfg, cfg.rate, t0, t1,
+                                   src_l.emitted() + src_r.emitted(),
+                                   std::max(src_l.emission_seconds(),
+                                            src_r.emission_seconds()),
+                                   sink, 0);
+}
+
+}  // namespace
+
+int main() {
+  using harness::fmt_ms;
+  using harness::fmt_rate;
+  const std::vector<std::string> impls{"D", "A", "A+", "A++"};
+
+  harness::print_section(
+      "Ablation 3 — intermediate results (A++) vs D / A / A+ : FM");
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& impl : impls) {
+      RunResult r = run_fm_variant(impl, /*rate=*/5000, /*wm=*/100);
+      rows.push_back({impl, fmt_rate(r.achieved_per_s),
+                      fmt_rate(r.outputs_per_s), fmt_ms(r.latency.p50_ms),
+                      fmt_ms(r.latency.p99_ms)});
+    }
+    harness::print_table({"impl", "throughput", "out/s", "p50", "p99"},
+                         rows);
+  }
+
+  harness::print_section(
+      "Ablation 3 — intermediate results (A++) vs D / A / A+ : J");
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& impl : impls) {
+      RunResult r = run_join_variant(impl, /*rate=*/1000, /*wm=*/100);
+      rows.push_back({impl, fmt_rate(r.achieved_per_s),
+                      fmt_rate(r.outputs_per_s), fmt_ms(r.latency.p50_ms),
+                      fmt_ms(r.latency.p99_ms)});
+    }
+    harness::print_table({"impl", "throughput", "out/s", "p50", "p99"},
+                         rows);
+  }
+  std::cout << "Expected: A++ latency ~= D (no watermark wait), A+ ~= one "
+               "watermark period, A higher still (guarded loop).\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 6 — AHF: throughput (top) and p99 latency (bottom) vs injection
+// rate for the Dedicated (D), AggBased (A) and A+ implementations of the
+// FM operator.
+//
+// Expected shape (paper § 6.2): throughput rises linearly then plateaus at
+// each implementation's maximum sustainable rate, D > A+ > A; latency is
+// lowest for D (stateless, no watermarks needed), higher for A+ (watermark
+// periodicity), highest for A (X's loop and the C2/C3 guard delays), and
+// spikes once the rate is unsustainable.
+#include <iostream>
+
+#include "harness/experiments.hpp"
+#include "harness/report.hpp"
+
+int main() {
+  using namespace aggspes::harness;
+
+  const Experiment& e = experiment("AHF");
+  print_section("Figure 6 — AHF throughput/latency vs injection rate");
+  std::cout << "Workload: " << e.notes << "\n";
+
+  std::vector<std::vector<std::string>> rows;
+  for (double rate : e.rate_ladder) {
+    for (Impl impl : all_impls()) {
+      RunConfig cfg;
+      cfg.rate = rate;
+      RunResult r = e.run(impl, cfg);
+      rows.push_back({
+          fmt_rate(rate),
+          impl_name(impl),
+          fmt_rate(r.achieved_per_s),
+          fmt_ms(r.latency.p50_ms),
+          fmt_ms(r.latency.p99_ms),
+          fmt_ms(r.latency.max_ms),
+          std::to_string(r.latency.count),
+      });
+    }
+  }
+  print_table({"inject t/s", "impl", "throughput t/s", "p50", "p99", "max",
+               "outputs"},
+              rows);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figures 7 and 8 — FM: maximum sustainable throughput (Fig. 7) and p99
+// latency at the highest sustainable rate (Fig. 8) for all 12 FM
+// experiments of Table 1, for D / A / A+.
+//
+// Expected shapes (paper § 6.2):
+//  * D's throughput is insensitive to selectivity but drops with per-tuple
+//    cost; A's throughput collapses as selectivity grows (X's loop traffic
+//    scales with outputs per input); A+ tracks D far more closely.
+//  * D's latency is orders of magnitude below A/A+ (no watermark wait);
+//    A's latency grows with selectivity (loop round-trips).
+#include <iostream>
+
+#include "harness/experiments.hpp"
+#include "harness/report.hpp"
+
+int main() {
+  using namespace aggspes::harness;
+
+  constexpr double kP99BoundMs = 500.0;  // scaled from the paper's 15 s
+
+  struct Cell {
+    double throughput;
+    double p99;
+    double p50;
+  };
+  std::vector<std::vector<std::string>> fig7, fig8;
+
+  for (const Experiment* e : fm_experiments()) {
+    std::vector<std::string> row7{e->id}, row8{e->id};
+    for (Impl impl : all_impls()) {
+      auto runner = [&](double rate) {
+        RunConfig cfg;
+        cfg.rate = rate;
+        return e->run(impl, cfg);
+      };
+      SustainableResult s =
+          find_max_sustainable(runner, e->rate_ladder, kP99BoundMs);
+      row7.push_back(fmt_rate(s.max_sustainable));
+      row8.push_back(s.best.latency.count
+                         ? fmt_ms(s.best.latency.p99_ms)
+                         : "n/a");
+    }
+    fig7.push_back(std::move(row7));
+    fig8.push_back(std::move(row8));
+    std::cerr << "done " << e->id << "\n";  // progress on stderr
+  }
+
+  print_section("Figure 7 — FM max sustainable throughput (t/s)");
+  print_table({"exp", "D", "A", "A+"}, fig7);
+
+  print_section("Figure 8 — FM p99 latency at max sustainable rate");
+  print_table({"exp", "D", "A", "A+"}, fig8);
+  return 0;
+}

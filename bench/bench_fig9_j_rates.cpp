@@ -1,0 +1,42 @@
+// Figure 9 — ahj: throughput and p99 latency vs injection rate for the
+// Dedicated (D), AggBased (A) and A+ implementations of the J operator.
+//
+// Expected shape (paper § 6.2): D and A+ behave closely (both rely on
+// watermarks for window progress); A's latency grows fastest with rate
+// because all of a window's comparisons happen at once on expiration and
+// the results must additionally unfold through X. Join throughput is
+// reported in comparisons/second.
+#include <iostream>
+
+#include "harness/experiments.hpp"
+#include "harness/report.hpp"
+
+int main() {
+  using namespace aggspes::harness;
+
+  const Experiment& e = experiment("ahj");
+  print_section("Figure 9 — ahj throughput/latency vs injection rate");
+  std::cout << "Workload: " << e.notes << "\n";
+
+  std::vector<std::vector<std::string>> rows;
+  for (double rate : e.rate_ladder) {
+    for (Impl impl : all_impls()) {
+      RunConfig cfg;
+      cfg.rate = rate;
+      RunResult r = e.run(impl, cfg);
+      rows.push_back({
+          fmt_rate(rate),
+          impl_name(impl),
+          fmt_rate(r.achieved_per_s),
+          fmt_rate(r.comparisons_per_s),
+          fmt_ms(r.latency.p50_ms),
+          fmt_ms(r.latency.p99_ms),
+          std::to_string(r.latency.count),
+      });
+    }
+  }
+  print_table({"inject t/s", "impl", "throughput t/s", "cmp/s", "p50",
+               "p99", "outputs"},
+              rows);
+  return 0;
+}

@@ -1,0 +1,236 @@
+// Listing 6 / Lemma 5 — the generic stateful operator
+//
+//   S_O = O(f_c, f_a, f_m, f_o, P, f_k, S_I)
+//
+// whose state is unbounded in event time: every input tuple updates a
+// per-key state tuple that is carried from each window instance to the next
+// through a loop, and f_o reports with period P.
+//
+//   FM1 unifies the stream type (wraps inputs into state envelopes);
+//   A1 uses Γ(WA = P, WS = P + δ, f_k) — consecutive instances
+//      γ_l = [lP, lP+P+δ) overlap on [(l+1)P, (l+1)P+δ), exactly where the
+//      state tuple emitted by γ_l (τ = γ.l + WS − δ = (l+1)P) lands, so the
+//      state "pours" into the next instance; tuples in the overlap are
+//      processed only in the later instance, so every tuple is processed
+//      exactly once;
+//   FM2 applies f_o to each state tuple.
+//
+// Faithfulness notes (also in DESIGN.md):
+//  * Listing 6 line 6 skips tuples with "t.τ ≠ γ.l+P−δ"; the Lemma 5 proof
+//    says tuples in the overlap [(l+1)P, (l+1)P+δ) are deferred, so we skip
+//    tuples with τ >= γ.l + P.
+//  * The paper reuses C1-C3 for the loop. Our guard releases watermarks
+//    *clamped* to the safe bound B = earliest-pending-window + 2P instead
+//    of parking them wholesale: clamped release is always watermark-sound,
+//    satisfies C2, and guarantees loop progress for any watermark spacing D
+//    (the paper instead requires L > D).
+//  * Per the paper's note, tuples in an instance are ordered by type before
+//    folding: state tuples first (f_m merges), then inputs in (τ, arrival)
+//    order (f_c / f_a).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/operators/aggregate.hpp"
+#include "core/operators/stateless.hpp"
+#include "core/window.hpp"
+
+namespace aggspes {
+
+/// The unified stream type FM1 produces: either a wrapped input (t[1]) or a
+/// state tuple (t[2]), always tagged with its key-by value.
+template <typename In, typename State, typename Key>
+struct StateEnvelope {
+  std::optional<In> input;
+  std::optional<State> state;
+  Key key;
+};
+
+namespace detail {
+
+/// Watermark guard for the state-carrying loop. Tracks, per window instance
+/// left boundary l, the keys whose state/input content will make γ_l fire,
+/// and releases watermarks clamped to B = min pending l + 2P so that no
+/// state tuple finds its target instance already closed (C2). End-of-stream
+/// is held until no pending instance can fire under the highest watermark
+/// seen.
+template <typename In, typename State, typename Key>
+class StateLoopGuard final
+    : public UnaryNode<StateEnvelope<In, State, Key>,
+                       StateEnvelope<In, State, Key>> {
+ public:
+  using Env = StateEnvelope<In, State, Key>;
+
+  explicit StateLoopGuard(Timestamp period)
+      : UnaryNode<Env, Env>(1, 1), period_(period) {}
+
+ protected:
+  void on_tuple(int port, const Tuple<Env>& t) override {
+    this->out_.push_tuple(t);
+    if (port == 0) {
+      // Fresh input: will be processed in the instance starting at
+      // floor(τ/P)·P (overlap tuples defer to the next instance, whose
+      // left boundary that formula already yields).
+      pending_[processing_instance(t.ts)].insert(t.value.key);
+    } else {
+      // Returned state tuple with τ = (l+1)P: completes γ_l's emission and
+      // becomes content of γ_{l+1}.
+      complete(t.ts - period_, t.value.key);
+      pending_[t.ts].insert(t.value.key);
+      release();
+    }
+    try_finish();
+  }
+
+  void on_watermark(Timestamp w) override {
+    held_max_ = std::max(held_max_, w);
+    release();
+    try_finish();
+  }
+
+  void on_end() override {
+    end_pending_ = true;
+    try_finish();
+  }
+
+ private:
+  Timestamp processing_instance(Timestamp ts) const {
+    return floor_div(ts, period_) * period_;
+  }
+
+  void complete(Timestamp l, const Key& key) {
+    auto it = pending_.find(l);
+    if (it == pending_.end()) return;
+    it->second.erase(key);
+    if (it->second.empty()) pending_.erase(it);
+  }
+
+  void release() {
+    const Timestamp bound = pending_.empty()
+                                ? kMaxTimestamp
+                                : pending_.begin()->first + 2 * period_;
+    const Timestamp fw = std::min(held_max_, bound);
+    if (fw > last_fw_ && fw > kMinTimestamp) {
+      last_fw_ = fw;
+      this->out_.push_watermark(fw);
+    }
+  }
+
+  void try_finish() {
+    if (!end_pending_) return;
+    // No pending instance can still fire under the highest watermark seen
+    // (instance l fires at watermark >= l + P + δ).
+    if (!pending_.empty() &&
+        pending_.begin()->first + period_ + kDelta <= held_max_) {
+      return;
+    }
+    end_pending_ = false;
+    this->out_.push_end();
+  }
+
+  Timestamp period_;
+  std::map<Timestamp, std::unordered_set<Key>> pending_;
+  Timestamp held_max_{kMinTimestamp};
+  Timestamp last_fw_{kMinTimestamp};
+  bool end_pending_{false};
+};
+
+}  // namespace detail
+
+/// The full Listing 6 composition. Feed `in()`, consume `out()`.
+/// A trailing partial period at end-of-stream is by design unreported
+/// (f_o fires with period P only).
+template <typename In, typename State, typename Out, typename Key>
+class CustomStateOp {
+ public:
+  using Env = StateEnvelope<In, State, Key>;
+  using KeyFn = std::function<Key(const In&)>;
+  using CreateFn = std::function<State(const In&)>;
+  using AddFn = std::function<State(State, const In&)>;
+  using MergeFn = std::function<State(State, State)>;
+  using OutputFn = std::function<std::vector<Out>(const State&)>;
+  /// Optional period-boundary hook (an extension over Listing 6): applied
+  /// to a state tuple as it pours from one window instance into the next —
+  /// e.g. to reset per-period bookkeeping after f_o reported it.
+  using PourFn = std::function<State(State)>;
+
+  template <typename FlowT>
+  CustomStateOp(FlowT& flow, Timestamp period, KeyFn f_k, CreateFn f_c,
+                AddFn f_a, MergeFn f_m, OutputFn f_o, PourFn f_pour = {})
+      : fm1_(flow.template add<MapOp<In, Env>>(
+            [f_k = std::move(f_k)](const In& v) {
+              return Env{v, std::nullopt, f_k(v)};
+            })),
+        guard_(flow.template add<detail::StateLoopGuard<In, State, Key>>(
+            period)),
+        a1_(make_a1(flow, period, std::move(f_c), std::move(f_a),
+                    std::move(f_m), std::move(f_pour))),
+        fm2_(flow.template add<FlatMapOp<Env, Out>>(
+            [f_o = std::move(f_o)](const Env& e) {
+              return e.state ? f_o(*e.state) : std::vector<Out>{};
+            })) {
+    flow.connect(fm1_, fm1_.out(), guard_, guard_.in(0));
+    flow.connect(guard_, guard_.out(), a1_, a1_.in(0));
+    flow.connect(a1_, a1_.out(), fm2_, fm2_.in());
+    flow.connect(a1_, a1_.out(), guard_, guard_.loop_in(), EdgeKind::kLoop);
+  }
+
+  Consumer<In>& in() { return fm1_.in(); }
+  Outlet<Out>& out() { return fm2_.out(); }
+  NodeBase& in_node() { return fm1_; }
+  NodeBase& out_node() { return fm2_; }
+
+ private:
+  using A1 = AggregateOp<Env, Env, Key>;
+
+  template <typename FlowT>
+  static A1& make_a1(FlowT& flow, Timestamp period, CreateFn f_c, AddFn f_a,
+                     MergeFn f_m, PourFn f_pour) {
+    WindowSpec spec{.advance = period, .size = period + kDelta};
+    auto f_o_window = [period, f_c = std::move(f_c), f_a = std::move(f_a),
+                       f_m = std::move(f_m), f_pour = std::move(f_pour)](
+                          const WindowView<Env, Key>& w)
+        -> std::optional<Env> {
+      std::optional<State> s;
+      // State tuples first (adopt / f_m-merge), skipping the overlap
+      // region [γ.l + P, γ.l + P + δ) which the next instance owns. The
+      // pour hook runs on each state tuple entering this instance.
+      for (const Tuple<Env>& t : w.items) {
+        if (t.ts >= w.l + period || !t.value.state) continue;
+        State poured = f_pour ? f_pour(*t.value.state) : *t.value.state;
+        s = s ? f_m(std::move(*s), std::move(poured)) : std::move(poured);
+      }
+      // Then inputs, in (τ, arrival) order.
+      std::vector<const Tuple<Env>*> inputs;
+      for (const Tuple<Env>& t : w.items) {
+        if (t.ts >= w.l + period || !t.value.input) continue;
+        inputs.push_back(&t);
+      }
+      std::stable_sort(inputs.begin(), inputs.end(),
+                       [](const auto* a, const auto* b) {
+                         return a->ts < b->ts;
+                       });
+      for (const Tuple<Env>* t : inputs) {
+        s = s ? f_a(std::move(*s), *t->value.input) : f_c(*t->value.input);
+      }
+      if (!s) return std::nullopt;  // only deferred tuples in γ
+      return Env{std::nullopt, std::move(*s), w.key};
+    };
+    return flow.template add<A1>(spec, [](const Env& e) { return e.key; },
+                        std::move(f_o_window), /*regular_inputs=*/1,
+                        /*loop_inputs=*/0, /*flush_on_end=*/false);
+  }
+
+  MapOp<In, Env>& fm1_;
+  detail::StateLoopGuard<In, State, Key>& guard_;
+  A1& a1_;
+  FlatMapOp<Env, Out>& fm2_;
+};
+
+}  // namespace aggspes

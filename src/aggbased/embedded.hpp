@@ -1,0 +1,106 @@
+// Envelope payload types for the Embed/Unfold constructions (§ 4.1).
+//
+// An Embed operator outputs tuples t_E = ⟨τ ⌢ {t_o¹,…,t_oⁿ} ⌢ −1⟩: the
+// second attribute carries the embedded output tuples, the third is −1 —
+// the special value identifying t_E as produced by E. While a tuple loops
+// through X's A1 the third attribute holds the unfold index instead.
+//
+// The embedded list is immutable once created and every loop iteration of
+// X re-emits it with only the index changed, so Embedded shares the list
+// (copy-on-write by construction): a loop hop costs O(1) instead of
+// copying the whole list — essential for join envelopes, whose lists hold
+// every matching pair of a window.
+//
+// Because the constructions key Aggregates by *all* attributes, the
+// envelopes define (deep) equality and hashing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/hashing.hpp"
+
+namespace aggspes {
+
+/// Marks an envelope as freshly produced by an Embed operator (§ 4.1).
+inline constexpr std::int64_t kFromEmbed = -1;
+
+/// t_E[1] = items(), t_E[2] = index (kFromEmbed, or the unfold cursor).
+template <typename T>
+class Embedded {
+ public:
+  std::int64_t index{kFromEmbed};
+
+  Embedded() = default;
+  Embedded(std::vector<T> items, std::int64_t idx)
+      : index(idx),
+        items_(std::make_shared<const std::vector<T>>(std::move(items))),
+        list_hash_(hash_range(items_->begin(), items_->end())) {}
+  /// Re-binds an existing (shared, immutable) list under a new index —
+  /// the O(1) loop-hop constructor (list hash carried along, not
+  /// recomputed: every hop of an n-item envelope would otherwise rescan
+  /// the list, making the unfold quadratic).
+  Embedded(const Embedded& base, std::int64_t idx)
+      : index(idx), items_(base.items_), list_hash_(base.list_hash_) {}
+
+  const std::vector<T>& items() const {
+    static const std::vector<T> kEmpty;
+    return items_ ? *items_ : kEmpty;
+  }
+
+  bool from_embed() const { return index == kFromEmbed; }
+
+  std::size_t list_hash() const { return list_hash_; }
+
+  friend bool operator==(const Embedded& a, const Embedded& b) {
+    if (a.index != b.index) return false;
+    if (a.items_ == b.items_) return true;  // shared list: trivially equal
+    if (a.list_hash_ != b.list_hash_) return false;
+    return a.items() == b.items();
+  }
+
+ private:
+  std::shared_ptr<const std::vector<T>> items_;
+  std::size_t list_hash_{0};
+};
+
+/// Listing 2's shared stream type for E_J: A1 wraps S_I1 tuples as
+/// ⟨τ ⌢ T ⌢ {}⟩ (left filled, right empty), A2 symmetrically. Per P1 both
+/// output streams can then feed A3 transparently.
+template <typename L, typename R>
+struct JoinSides {
+  std::vector<L> left;
+  std::vector<R> right;
+
+  bool from_left() const { return right.empty(); }
+
+  friend bool operator==(const JoinSides&, const JoinSides&) = default;
+};
+
+}  // namespace aggspes
+
+namespace std {
+
+template <typename T>
+struct hash<aggspes::Embedded<T>> {
+  size_t operator()(const aggspes::Embedded<T>& e) const {
+    size_t seed = e.list_hash();
+    aggspes::hash_combine(seed, e.index);
+    return seed;
+  }
+};
+
+template <typename L, typename R>
+struct hash<aggspes::JoinSides<L, R>> {
+  size_t operator()(const aggspes::JoinSides<L, R>& s) const {
+    size_t seed = aggspes::hash_range(s.left.begin(), s.left.end());
+    aggspes::hash_combine(
+        seed, aggspes::hash_range(s.right.begin(), s.right.end()));
+    return seed;
+  }
+};
+
+}  // namespace std

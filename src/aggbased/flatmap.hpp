@@ -1,0 +1,59 @@
+// AggBased FlatMap — the paper's headline construction for stateless
+// operators (§ 4.1-4.2): E_FM (Listing 1) followed by X (Listing 3).
+// Filter and Map are special cases of FlatMap (§ 4), so this composition
+// also provides AggBased F and M (see make_aggbased_filter / _map).
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "aggbased/embed_flatmap.hpp"
+#include "aggbased/unfold.hpp"
+
+namespace aggspes {
+
+/// Handle to a wired AggBased FM composition.
+template <typename In, typename Out>
+class AggBasedFlatMap {
+ public:
+  /// `lateness` must be >= the input stream's watermark spacing D (C1).
+  template <typename FlowT>
+  AggBasedFlatMap(FlowT& flow, FlatMapFn<In, Out> f_fm, Timestamp lateness)
+      : embed_(make_embed_flatmap<In, Out>(flow, std::move(f_fm))),
+        x_(flow, lateness) {
+    flow.connect(embed_, embed_.out(), x_.in_node(), x_.in());
+  }
+
+  Consumer<In>& in() { return embed_.in(); }
+  Outlet<Out>& out() { return x_.out(); }
+  NodeBase& in_node() { return embed_; }
+  NodeBase& out_node() { return x_.out_node(); }
+
+  const UnfoldX<Out>& unfold() const { return x_; }
+
+ private:
+  AggregateOp<In, Embedded<Out>, In>& embed_;
+  UnfoldX<Out> x_;
+};
+
+/// AggBased Filter: FM whose function forwards t unchanged iff f_C(t).
+template <typename T, typename FlowT>
+AggBasedFlatMap<T, T> make_aggbased_filter(
+    FlowT& flow, std::function<bool(const T&)> f_c, Timestamp lateness) {
+  auto fm = [f_c = std::move(f_c)](const T& v) {
+    return f_c(v) ? std::vector<T>{v} : std::vector<T>{};
+  };
+  return AggBasedFlatMap<T, T>(flow, std::move(fm), lateness);
+}
+
+/// AggBased Map: FM whose function forwards exactly f_M(t).
+template <typename In, typename Out, typename FlowT>
+AggBasedFlatMap<In, Out> make_aggbased_map(
+    FlowT& flow, std::function<Out(const In&)> f_m, Timestamp lateness) {
+  auto fm = [f_m = std::move(f_m)](const In& v) {
+    return std::vector<Out>{f_m(v)};
+  };
+  return AggBasedFlatMap<In, Out>(flow, std::move(fm), lateness);
+}
+
+}  // namespace aggspes

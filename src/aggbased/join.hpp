@@ -1,0 +1,43 @@
+// AggBased Join — E_J (Listing 2) followed by X (Listing 3), § 4.3-4.4.
+// Per § 3 the paper assumes an AggBased J handles no late arrivals
+// (L = 0 for the join window itself; X's internal A1 still uses L >= D).
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "aggbased/embed_join.hpp"
+#include "aggbased/unfold.hpp"
+
+namespace aggspes {
+
+template <typename L, typename R, typename Key>
+class AggBasedJoin {
+ public:
+  using Out = std::pair<L, R>;
+
+  template <typename FlowT>
+  AggBasedJoin(FlowT& flow, WindowSpec join_spec,
+               std::function<Key(const L&)> f_k1,
+               std::function<Key(const R&)> f_k2,
+               std::function<bool(const L&, const R&)> f_p,
+               Timestamp lateness)
+      : embed_(flow, join_spec, std::move(f_k1), std::move(f_k2),
+               std::move(f_p)),
+        x_(flow, lateness) {
+    flow.connect(embed_.out_node(), embed_.out(), x_.in_node(), x_.in());
+  }
+
+  Consumer<L>& left_in() { return embed_.left_in(); }
+  Consumer<R>& right_in() { return embed_.right_in(); }
+  Outlet<Out>& out() { return x_.out(); }
+  NodeBase& left_in_node() { return embed_.left_in_node(); }
+  NodeBase& right_in_node() { return embed_.right_in_node(); }
+  NodeBase& out_node() { return x_.out_node(); }
+
+ private:
+  EmbedJoin<L, R, Key> embed_;
+  UnfoldX<Out> x_;
+};
+
+}  // namespace aggspes

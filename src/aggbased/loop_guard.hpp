@@ -1,0 +1,190 @@
+// Listings 4 & 5 — stream-handling algorithms enforcing conditions C2 and
+// C3 (§ 4.5) for SPEs, like ours, whose cyclic-graph support does not
+// provide them natively (the paper's artifact does the same for Flink,
+// which deadlocks on loops — FLINK-2497).
+//
+// C2 (for stream S_E, the input of X's looped A1): a watermark may reach A1
+// only once it cannot make any in-flight looped tuple a discarded late
+// arrival. The guard tracks, per window left-boundary τ, how many successor
+// tuples are still expected back through the loop (succΓ), bounds the
+// forwardable watermark by B = succΓ.firstKey() + L, and parks watermarks
+// above B in pendingW.
+//
+// C3 (for stream S_A2, the output of A1): A1's watermark may reach its
+// downstream peers only after all successors of the tuples it triggered.
+// The guard derives safe watermarks from the successor bookkeeping itself.
+//
+// Faithfulness notes (also in DESIGN.md):
+//  * Listing 5 line 5 tests t[2] = −1, but S_A2 only carries indexes ≥ 0;
+//    the prose makes clear the first successor (index 0) registers its
+//    |t[1]| − 1 outstanding siblings, so we test index == 0.
+//  * Both listings remove a succΓ entry when it reaches 0 after a
+//    decrement; we also drop entries that *start* at 0 (an envelope with
+//    one embedded item has no outstanding siblings).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "aggbased/embedded.hpp"
+#include "core/operators/operator_base.hpp"
+
+namespace aggspes {
+
+/// Listing 4. Sits at A1's input junction: port 0 receives S_E (tuples and
+/// watermarks from the Embed operator), the loop port receives A1's own
+/// outputs fed back (tuples only, P3). Everything is forwarded to A1, but
+/// watermarks are delayed per C2. End-of-stream is held until the loop has
+/// fully drained.
+template <typename T>
+class C2Guard final : public UnaryNode<Embedded<T>, Embedded<T>> {
+ public:
+  using Env = Embedded<T>;
+
+  /// `lateness` is A1's L; Theorem 3 requires L >= D (C1's watermark
+  /// spacing) for the guarded composition to lose no tuple.
+  explicit C2Guard(Timestamp lateness)
+      : UnaryNode<Env, Env>(1, 1), lateness_(lateness) {}
+
+  Timestamp bound() const { return bound_; }
+  std::size_t pending_watermarks() const { return pending_.size(); }
+  std::size_t outstanding_groups() const { return succ_.size(); }
+
+ protected:
+  void on_tuple(int, const Tuple<Env>& t) override {  // processT
+    this->out_.push_tuple(t);
+    if (t.value.from_embed()) {
+      // γ with left boundary t.τ expects |t[1]| successors back.
+      succ_[t.ts] += static_cast<std::int64_t>(t.value.items().size());
+      if (succ_[t.ts] == 0) succ_.erase(t.ts);
+    } else {
+      auto it = succ_.find(t.ts);
+      assert(it != succ_.end());
+      if (--it->second == 0) succ_.erase(it);
+    }
+    bound_ = succ_.empty() ? kMaxTimestamp : succ_.begin()->first + lateness_;
+    // Forward the latest parked watermark now within the bound, discarding
+    // the earlier ones it supersedes (List. 4, L17-21).
+    Timestamp next = kMinTimestamp;
+    while (!pending_.empty() && pending_.front() <= bound_) {
+      next = pending_.front();
+      pending_.pop_front();
+    }
+    if (next != kMinTimestamp) this->out_.push_watermark(next);
+    maybe_finish();
+  }
+
+  void on_watermark(Timestamp w) override {  // processW
+    if (w <= bound_) {
+      this->out_.push_watermark(w);
+    } else {
+      pending_.push_back(w);
+    }
+  }
+
+  void on_end() override {
+    end_pending_ = true;
+    maybe_finish();
+  }
+
+ private:
+  void maybe_finish() {
+    if (!end_pending_ || !succ_.empty()) return;
+    if (!pending_.empty()) {
+      this->out_.push_watermark(pending_.back());
+      pending_.clear();
+    }
+    end_pending_ = false;
+    this->out_.push_end();
+  }
+
+  Timestamp lateness_;
+  Timestamp bound_{kMaxTimestamp};                // B
+  std::map<Timestamp, std::int64_t> succ_;        // succΓ
+  std::deque<Timestamp> pending_;                 // pendingW
+  bool end_pending_{false};
+};
+
+/// Listing 5. Sits on A1's output stream S_A2 (which feeds both A2 and,
+/// through a loop edge, the C2 guard). Tuples pass through immediately;
+/// watermarks are re-derived so that a watermark W reaches A2 only after
+/// succ(trig(W)) — i.e. A2 never observes a late arrival.
+///
+/// `max_step` (beyond Listing 5): consecutive forwarded watermarks differ
+/// by at most this amount — large jumps are filled with intermediate
+/// watermarks (always sound: they are smaller than an already-safe value).
+/// This restores condition C1 for the composition's *output* stream, which
+/// the C2 guard's park-and-release otherwise breaks (it discards earlier
+/// parked watermarks, so a stage could emit, e.g., its final flush
+/// watermark as one giant leap and deadlock a downstream X loop). With
+/// max_step = L, a downstream AggBased stage with the same lateness
+/// composes safely — the § 3 note that C1 "extends" to AggBased operators,
+/// made constructive.
+template <typename T>
+class C3Guard final : public UnaryNode<Embedded<T>, Embedded<T>> {
+ public:
+  using Env = Embedded<T>;
+
+  explicit C3Guard(Timestamp max_step = kMaxTimestamp)
+      : UnaryNode<Env, Env>(1, 0), max_step_(max_step) {}
+
+  Timestamp last_forwarded() const { return last_w_; }
+  std::size_t outstanding_groups() const { return succ_.size(); }
+
+ protected:
+  void on_tuple(int, const Tuple<Env>& t) override {  // processT
+    this->out_.push_tuple(t);
+    if (t.value.index == 0) {
+      // First successor of an envelope: |t[1]| − 1 siblings outstanding
+      // (t itself is one of the successors).
+      succ_[t.ts] += static_cast<std::int64_t>(t.value.items().size()) - 1;
+      if (succ_[t.ts] == 0) succ_.erase(t.ts);
+    } else {
+      auto it = succ_.find(t.ts);
+      assert(it != succ_.end());
+      if (--it->second == 0) succ_.erase(it);
+    }
+    if (succ_.empty()) {
+      forward(t.ts);
+    } else {
+      forward(succ_.begin()->first - kDelta);
+    }
+  }
+
+  void on_watermark(Timestamp w) override {  // processW
+    if (succ_.empty()) {
+      forward(w);
+    } else {
+      forward(succ_.begin()->first - kDelta);
+    }
+  }
+
+  void on_end() override {
+    // By C2, every successor chain completed before A1 forwarded its end.
+    assert(succ_.empty());
+    this->out_.push_end();
+  }
+
+ private:
+  void forward(Timestamp w) {
+    if (w <= last_w_) return;
+    // Step across large gaps so the output satisfies C1 with D = max_step
+    // (skipped for the very first watermark: no previous reference point).
+    if (last_w_ != kMinTimestamp && max_step_ != kMaxTimestamp) {
+      while (w - last_w_ > max_step_) {
+        last_w_ += max_step_;
+        this->out_.push_watermark(last_w_);
+      }
+    }
+    last_w_ = w;
+    this->out_.push_watermark(w);
+  }
+
+  std::map<Timestamp, std::int64_t> succ_;  // succΓ
+  Timestamp last_w_{kMinTimestamp};         // lastW
+  Timestamp max_step_;
+};
+
+}  // namespace aggspes

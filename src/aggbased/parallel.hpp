@@ -1,0 +1,58 @@
+// Shared-nothing parallel deployments of AggBased operators — the paper's
+// closing future-work item ("how the performance of streaming applications
+// based on compositions of Aggregate operators evolve in
+// distributed/parallel deployments", § 8).
+//
+// A logical AggBased FM is deployed as N physical Embed/Unfold
+// compositions behind a key splitter (§ 2.2). The splitter hashes the
+// *whole payload* — exactly the key-by the inner Aggregates use — so
+// identical tuples (which must share a window instance for Theorem 1's
+// multiplicity argument) always meet in the same physical instance.
+// Watermarks broadcast to every instance; a Union merges the outputs with
+// min-combined watermarks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "aggbased/flatmap.hpp"
+#include "core/operators/key_partition.hpp"
+#include "core/operators/union_op.hpp"
+
+namespace aggspes {
+
+template <typename In, typename Out>
+class ParallelAggBasedFlatMap {
+ public:
+  template <typename FlowT>
+  ParallelAggBasedFlatMap(FlowT& flow, FlatMapFn<In, Out> f_fm,
+                          Timestamp lateness, int parallelism)
+      : split_(flow.template add<KeySplitter<In, In>>(
+            parallelism, [](const In& v) { return v; })),
+        merge_(flow.template add<UnionOp<Out>>(parallelism)) {
+    instances_.reserve(static_cast<std::size_t>(parallelism));
+    for (int i = 0; i < parallelism; ++i) {
+      auto inst =
+          std::make_unique<AggBasedFlatMap<In, Out>>(flow, f_fm, lateness);
+      flow.connect(split_, split_.out(i), inst->in_node(), inst->in());
+      flow.connect(inst->out_node(), inst->out(), merge_, merge_.in(i));
+      instances_.push_back(std::move(inst));
+    }
+  }
+
+  Consumer<In>& in() { return split_.in(); }
+  Outlet<Out>& out() { return merge_.out(); }
+  NodeBase& in_node() { return split_; }
+  NodeBase& out_node() { return merge_; }
+
+  int parallelism() const { return static_cast<int>(instances_.size()); }
+
+ private:
+  KeySplitter<In, In>& split_;
+  UnionOp<Out>& merge_;
+  // The composites only wire flow-owned nodes, but each instance's handle
+  // is kept so callers can inspect per-instance guards if needed.
+  std::vector<std::unique_ptr<AggBasedFlatMap<In, Out>>> instances_;
+};
+
+}  // namespace aggspes

@@ -1,0 +1,174 @@
+// A small library of reusable stateful operators, all built on the
+// Listing 6 construction (CustomStateOp) — evidence for § 5.2's claim that
+// compositions of Aggregates "can be used to maintain states that go
+// beyond those of time-based windows", and for contribution (4): a minimal
+// operator set as the reference against which new operators are defined.
+//
+// Every operator here reports once per period P, maintains per-key state
+// over the *entire* stream history (event-time-unbounded), and is defined
+// purely by its f_c / f_a / f_m / f_o functions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "aggbased/custom_state.hpp"
+
+namespace aggspes::patterns {
+
+/// Per-key lifetime tuple count, reported each period as (key, count).
+/// The operator's key-by partitions the state, but f_o only sees the state
+/// tuple, so the key is carried inside it.
+template <typename In, typename Key, typename FlowT>
+CustomStateOp<In, std::pair<Key, std::uint64_t>,
+              std::pair<Key, std::uint64_t>, Key>
+make_running_count(FlowT& flow, Timestamp period,
+                   std::function<Key(const In&)> key_fn) {
+  using State = std::pair<Key, std::uint64_t>;
+  using Op = CustomStateOp<In, State, State, Key>;
+  return Op(
+      flow, period, key_fn,
+      /*f_c=*/
+      [key_fn](const In& in) { return State{key_fn(in), 1}; },
+      /*f_a=*/
+      [](State s, const In&) {
+        ++s.second;
+        return s;
+      },
+      /*f_m=*/
+      [](State a, const State& b) {
+        a.second += b.second;
+        return a;
+      },
+      /*f_o=*/
+      [](const State& s) { return std::vector<State>{s}; });
+}
+
+/// State for top-k: the k largest values observed so far (descending).
+template <typename V>
+struct TopK {
+  int k{0};
+  std::vector<V> values;  // sorted descending, size <= k
+
+  void insert(const V& v) {
+    auto it = std::lower_bound(values.begin(), values.end(), v,
+                               [](const V& a, const V& b) { return a > b; });
+    values.insert(it, v);
+    if (static_cast<int>(values.size()) > k) values.pop_back();
+  }
+
+  friend bool operator==(const TopK&, const TopK&) = default;
+};
+
+/// Per-key lifetime top-k values, reported each period.
+template <typename In, typename V, typename Key, typename FlowT>
+CustomStateOp<In, TopK<V>, std::vector<V>, Key> make_running_topk(
+    FlowT& flow, Timestamp period, int k,
+    std::function<Key(const In&)> key_fn,
+    std::function<V(const In&)> value_fn) {
+  using Op = CustomStateOp<In, TopK<V>, std::vector<V>, Key>;
+  return Op(
+      flow, period, std::move(key_fn),
+      /*f_c=*/
+      [k, value_fn](const In& in) {
+        TopK<V> s{k, {}};
+        s.insert(value_fn(in));
+        return s;
+      },
+      /*f_a=*/
+      [value_fn](TopK<V> s, const In& in) {
+        s.insert(value_fn(in));
+        return s;
+      },
+      /*f_m=*/
+      [](TopK<V> a, const TopK<V>& b) {
+        for (const V& v : b.values) a.insert(v);
+        return a;
+      },
+      /*f_o=*/
+      [](const TopK<V>& s) {
+        return std::vector<std::vector<V>>{s.values};
+      });
+}
+
+/// Per-key exact distinct-value count over all history.
+template <typename In, typename V, typename Key, typename FlowT>
+CustomStateOp<In, std::set<V>, std::size_t, Key> make_distinct_count(
+    FlowT& flow, Timestamp period, std::function<Key(const In&)> key_fn,
+    std::function<V(const In&)> value_fn) {
+  using Op = CustomStateOp<In, std::set<V>, std::size_t, Key>;
+  return Op(
+      flow, period, std::move(key_fn),
+      /*f_c=*/
+      [value_fn](const In& in) { return std::set<V>{value_fn(in)}; },
+      /*f_a=*/
+      [value_fn](std::set<V> s, const In& in) {
+        s.insert(value_fn(in));
+        return s;
+      },
+      /*f_m=*/
+      [](std::set<V> a, const std::set<V>& b) {
+        a.insert(b.begin(), b.end());
+        return a;
+      },
+      /*f_o=*/
+      [](const std::set<V>& s) {
+        return std::vector<std::size_t>{s.size()};
+      });
+}
+
+/// Deduplication state: everything seen, plus what arrived newly since the
+/// last report.
+template <typename V>
+struct DedupState {
+  std::set<V> seen;
+  std::vector<V> fresh;  // first occurrences in the current period
+
+  friend bool operator==(const DedupState&, const DedupState&) = default;
+};
+
+/// Per-key deduplication with periodic release: each distinct value is
+/// forwarded exactly once, in the report of the period it first appeared.
+template <typename In, typename V, typename Key, typename FlowT>
+CustomStateOp<In, DedupState<V>, V, Key> make_deduplicate(
+    FlowT& flow, Timestamp period, std::function<Key(const In&)> key_fn,
+    std::function<V(const In&)> value_fn) {
+  using Op = CustomStateOp<In, DedupState<V>, V, Key>;
+  return Op(
+      flow, period, std::move(key_fn),
+      /*f_c=*/
+      [value_fn](const In& in) {
+        DedupState<V> s;
+        V v = value_fn(in);
+        s.seen.insert(v);
+        s.fresh.push_back(std::move(v));
+        return s;
+      },
+      /*f_a=*/
+      [value_fn](DedupState<V> s, const In& in) {
+        V v = value_fn(in);
+        if (s.seen.insert(v).second) s.fresh.push_back(std::move(v));
+        return s;
+      },
+      /*f_m=*/
+      [](DedupState<V> a, DedupState<V> b) {
+        for (V& v : b.fresh) {
+          if (a.seen.insert(v).second) a.fresh.push_back(std::move(v));
+        }
+        return a;
+      },
+      /*f_o=*/
+      [](const DedupState<V>& s) { return s.fresh; },
+      /*f_pour=*/
+      [](DedupState<V> s) {
+        // Last period's first-occurrences were reported; start clean.
+        s.fresh.clear();
+        return s;
+      });
+}
+
+}  // namespace aggspes::patterns

@@ -1,0 +1,215 @@
+// Dataflow graph plumbing: typed consumers, outlets, channels, and the
+// deterministic single-threaded scheduler used by tests and examples.
+//
+// Model properties from the paper (§ 3) are enforced here:
+//   P1 — physical streams with the same type can feed the same operator:
+//        any number of Outlet<T>s may connect to ports of one node.
+//   P2 — a stream can feed several operators, delivering the same
+//        tuples/watermarks in the same order: Outlet fan-out pushes every
+//        element to all subscribed channels in subscription order.
+//   P3 — loops: a channel marked `loop` carries tuples only; watermarks
+//        (and end-of-stream markers) forwarded by an operator are never fed
+//        back to it through the loop.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace aggspes {
+
+/// Receiving side of a stream of `Element<T>`.
+template <typename T>
+class Consumer {
+ public:
+  virtual ~Consumer() = default;
+  virtual void receive(const Element<T>& e) = 0;
+};
+
+/// A consumer that forwards to a bound handler; nodes instantiate one per
+/// input port so multi-port (and multi-type) operators need no inheritance
+/// tricks.
+template <typename T>
+class Port final : public Consumer<T> {
+ public:
+  using Handler = std::function<void(const Element<T>&)>;
+  explicit Port(Handler h) : handler_(std::move(h)) {}
+  void receive(const Element<T>& e) override { handler_(e); }
+
+ private:
+  Handler handler_;
+};
+
+/// Transport edge between an outlet and a consumer. Concrete channels are
+/// provided by the runtimes (queued single-threaded, SPSC threaded).
+template <typename T>
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  virtual void push(const Element<T>& e) = 0;
+  virtual bool loop() const = 0;
+};
+
+/// Producing side of a stream: fans out to all subscribed channels (P2),
+/// withholding watermarks and end-of-stream from loop channels (P3).
+template <typename T>
+class Outlet {
+ public:
+  void subscribe(Channel<T>* c) { channels_.push_back(c); }
+
+  void push(const Element<T>& e) {
+    const bool data = is_tuple(e);
+    for (Channel<T>* c : channels_) {
+      if (!data && c->loop()) continue;
+      c->push(e);
+    }
+  }
+
+  void push_tuple(Tuple<T> t) { push(Element<T>{std::move(t)}); }
+  void push_watermark(Timestamp ts) { push(Element<T>{Watermark{ts}}); }
+  void push_end() { push(Element<T>{EndOfStream{}}); }
+
+  std::size_t fan_out() const { return channels_.size(); }
+
+ private:
+  std::vector<Channel<T>*> channels_;
+};
+
+/// Base class for graph nodes; exists so a Flow can own heterogeneous nodes.
+class NodeBase {
+ public:
+  virtual ~NodeBase() = default;
+  /// Sources override this; the scheduler calls it once at startup.
+  virtual void pump() {}
+};
+
+/// Whether an edge is a normal stream or a feedback loop (P3).
+enum class EdgeKind { kNormal, kLoop };
+
+namespace detail {
+
+/// Type-erased view of a queued channel, so the scheduler can drain
+/// heterogeneous edges.
+class QueuedChannelBase {
+ public:
+  virtual ~QueuedChannelBase() = default;
+  /// Delivers the front element to the consumer. Pre: !empty().
+  virtual void deliver_one() = 0;
+  virtual bool empty() const = 0;
+
+  bool scheduled = false;
+};
+
+}  // namespace detail
+
+/// Deterministic single-threaded execution context. Owns nodes and edges;
+/// `run()` pumps all sources and then drains edge queues in FIFO order,
+/// which supports cyclic graphs without unbounded recursion.
+class Flow {
+ public:
+  /// Constructs a node in the flow and returns a reference to it.
+  template <typename Node, typename... Args>
+  Node& add(Args&&... args) {
+    auto node = std::make_unique<Node>(std::forward<Args>(args)...);
+    Node& ref = *node;
+    nodes_.push_back(std::move(node));
+    return ref;
+  }
+
+  /// Connects `from` to `to` with a FIFO queued channel.
+  template <typename T>
+  void connect(Outlet<T>& from, Consumer<T>& to,
+               EdgeKind kind = EdgeKind::kNormal) {
+    auto chan = std::make_unique<QueuedChannel<T>>(*this, to,
+                                                   kind == EdgeKind::kLoop);
+    from.subscribe(chan.get());
+    edges_.push_back(std::move(chan));
+  }
+
+  /// Node-aware connect, signature-compatible with ThreadedFlow so that
+  /// operator compositions can be wired identically on either runtime (the
+  /// single-threaded scheduler does not need the node references).
+  template <typename T>
+  void connect(NodeBase&, Outlet<T>& from, NodeBase&, Consumer<T>& to,
+               EdgeKind kind = EdgeKind::kNormal) {
+    connect(from, to, kind);
+  }
+
+  /// Pumps all sources and drains the graph to quiescence.
+  /// `max_deliveries` guards against livelock in buggy cyclic graphs;
+  /// throws std::runtime_error when exceeded.
+  void run(std::size_t max_deliveries = kDefaultMaxDeliveries) {
+    for (auto& n : nodes_) n->pump();
+    drain(max_deliveries);
+  }
+
+  /// Drains already-enqueued work without pumping sources again.
+  void drain(std::size_t max_deliveries = kDefaultMaxDeliveries) {
+    std::size_t delivered = 0;
+    while (!pending_.empty()) {
+      detail::QueuedChannelBase* e = pending_.front();
+      pending_.pop_front();
+      e->deliver_one();
+      if (++delivered > max_deliveries) {
+        throw std::runtime_error(
+            "Flow::run exceeded max deliveries; cyclic graph not quiescing?");
+      }
+      if (!e->empty()) {
+        pending_.push_back(e);
+      } else {
+        e->scheduled = false;
+      }
+    }
+  }
+
+  static constexpr std::size_t kDefaultMaxDeliveries = 200'000'000;
+
+ private:
+  template <typename T>
+  class QueuedChannel final : public Channel<T>,
+                              public detail::QueuedChannelBase {
+   public:
+    QueuedChannel(Flow& flow, Consumer<T>& target, bool loop)
+        : flow_(flow), target_(target), loop_(loop) {}
+
+    void push(const Element<T>& e) override {
+      queue_.push_back(e);
+      flow_.schedule(this);
+    }
+    bool loop() const override { return loop_; }
+
+    void deliver_one() override {
+      assert(!queue_.empty());
+      Element<T> e = std::move(queue_.front());
+      queue_.pop_front();
+      target_.receive(e);
+    }
+    bool empty() const override { return queue_.empty(); }
+
+   private:
+    Flow& flow_;
+    Consumer<T>& target_;
+    bool loop_;
+    std::deque<Element<T>> queue_;
+  };
+
+  void schedule(detail::QueuedChannelBase* e) {
+    if (!e->scheduled) {
+      e->scheduled = true;
+      pending_.push_back(e);
+    }
+  }
+
+  std::vector<std::unique_ptr<NodeBase>> nodes_;
+  std::vector<std::unique_ptr<detail::QueuedChannelBase>> edges_;
+  std::deque<detail::QueuedChannelBase*> pending_;
+};
+
+}  // namespace aggspes

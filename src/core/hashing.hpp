@@ -1,0 +1,60 @@
+// Hash utilities for composite payloads.
+//
+// The paper's constructions repeatedly key an Aggregate by *all* attributes
+// of its input (Listings 1-3), so every payload type used in an AggBased
+// composition must be hashable and equality-comparable. This header provides
+// the combinators those payloads use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aggspes {
+
+/// Mixes `v`'s hash into the running seed (boost-style combiner with a
+/// 64-bit golden-ratio constant).
+template <typename T>
+void hash_combine(std::size_t& seed, const T& v) {
+  std::hash<T> h;
+  seed ^= h(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hash of an ordered range, order-sensitive.
+template <typename It>
+std::size_t hash_range(It first, It last) {
+  std::size_t seed = 0;
+  for (; first != last; ++first) hash_combine(seed, *first);
+  return seed;
+}
+
+/// Convenience: hash several values into one.
+template <typename... Ts>
+std::size_t hash_values(const Ts&... vs) {
+  std::size_t seed = 0;
+  (hash_combine(seed, vs), ...);
+  return seed;
+}
+
+}  // namespace aggspes
+
+namespace std {
+
+template <typename T>
+struct hash<std::vector<T>> {
+  size_t operator()(const std::vector<T>& v) const {
+    return aggspes::hash_range(v.begin(), v.end());
+  }
+};
+
+template <typename A, typename B>
+struct hash<std::pair<A, B>> {
+  size_t operator()(const std::pair<A, B>& p) const {
+    return aggspes::hash_values(p.first, p.second);
+  }
+};
+
+}  // namespace std

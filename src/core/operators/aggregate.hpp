@@ -1,0 +1,78 @@
+// The paper's minimalistic Aggregate operator (§ 2.1):
+//
+//   S_O = A(Γ(WA, WS, S_I, f_K, L), f_O)
+//
+// f_O(γ) computes the values of **up to one** output tuple from a window
+// instance γ; A itself sets the output's event time to γ.l + WS − δ. Upon a
+// watermark W, A produces the results of every instance whose right
+// boundary is ≤ W and only then forwards W (§ 2.3), so Observation 1
+// (t_o.τ ≥ t_i.τ) and downstream watermark correctness hold.
+//
+// This single operator — plus key-by partitioning and loops — is the core
+// set the paper proves sufficient for F, M, FM and J.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "core/operators/operator_base.hpp"
+#include "core/operators/window_machine.hpp"
+
+namespace aggspes {
+
+template <typename In, typename Out, typename Key>
+class AggregateOp final : public UnaryNode<In, Out> {
+ public:
+  using KeyFn = typename WindowMachine<In, Key>::KeyFn;
+  /// f_O: returns the output's payload, or nullopt (∅) for no output.
+  using AggFn = std::function<std::optional<Out>(const WindowView<In, Key>&)>;
+
+  /// `regular_inputs` watermark-carrying ports (P1: several same-typed
+  /// streams may feed one A) plus `loop_inputs` feedback ports (P3).
+  /// `flush_on_end`: fire still-open instances at end-of-stream. Disable
+  /// for A's that feed a loop (their residual instances are by-design
+  /// unreported; firing them would emit after end-of-stream).
+  AggregateOp(WindowSpec spec, KeyFn f_k, AggFn f_o, int regular_inputs = 1,
+              int loop_inputs = 0, bool flush_on_end = true)
+      : UnaryNode<In, Out>(regular_inputs, loop_inputs),
+        machine_(spec, std::move(f_k)),
+        f_o_(std::move(f_o)),
+        flush_on_end_(flush_on_end) {}
+
+  const WindowMachine<In, Key>& machine() const { return machine_; }
+
+ protected:
+  void on_tuple(int, const Tuple<In>& t) override {
+    machine_.add(t, this->watermark(), fire_);
+  }
+
+  void on_watermark(Timestamp w) override {
+    machine_.advance(w, fire_);
+    this->out_.push_watermark(w);  // results first, then the watermark
+  }
+
+  void on_end() override {
+    if (flush_on_end_) machine_.flush(fire_);
+    this->out_.push_end();
+  }
+
+ private:
+  void fire(Timestamp l, const Key& key,
+            const std::vector<Tuple<In>>& items) {
+    WindowView<In, Key> view{l, machine_.spec().size, key, items};
+    if (std::optional<Out> o = f_o_(view)) {
+      this->out_.push_tuple(Tuple<Out>{machine_.spec().output_ts(l),
+                                       max_stamp(items), std::move(*o)});
+    }
+  }
+
+  WindowMachine<In, Key> machine_;
+  AggFn f_o_;
+  bool flush_on_end_;
+  typename WindowMachine<In, Key>::FireFn fire_ =
+      [this](Timestamp l, const Key& k, const std::vector<Tuple<In>>& items,
+             bool) { fire(l, k, items); };
+};
+
+}  // namespace aggspes

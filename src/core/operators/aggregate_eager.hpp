@@ -1,0 +1,88 @@
+// A++ — an eager Aggregate, the paper's proposed next relaxation (§ 6.2
+// closing discussion): "an even semantically richer A that could e.g. also
+// produce intermediate results rather than only results computed on the
+// expiration of a window instance, could further narrow [the performance]
+// gap".
+//
+// A++ keeps A+'s windowing and adds an incremental function f_I invoked
+// every time a tuple lands in a window instance; its outputs are forwarded
+// immediately. Eager outputs carry the instance's event time
+// γ.l + WS − δ, which is strictly ahead of the operator's watermark, so
+// they are watermark-safe (Observation 1 still holds, and no downstream
+// peer sees a late arrival). f_O still runs on expiration for whatever the
+// incremental path does not cover (pass a function returning {} when eager
+// emission is complete, as the eager join does).
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/operators/operator_base.hpp"
+#include "core/operators/window_machine.hpp"
+
+namespace aggspes {
+
+template <typename In, typename Out, typename Key>
+class AggregateEagerOp final : public UnaryNode<In, Out> {
+ public:
+  using KeyFn = typename WindowMachine<In, Key>::KeyFn;
+  /// f_I: the window view *includes* the just-arrived tuple as its last
+  /// item; outputs are emitted immediately.
+  using IncFn = std::function<std::vector<Out>(const WindowView<In, Key>&)>;
+  /// f_O: run on instance expiration, as in A+.
+  using FinalFn =
+      std::function<std::vector<Out>(const WindowView<In, Key>&)>;
+
+  AggregateEagerOp(WindowSpec spec, KeyFn f_k, IncFn f_i, FinalFn f_o,
+                   int regular_inputs = 1)
+      : UnaryNode<In, Out>(regular_inputs, 0),
+        machine_(spec, std::move(f_k)),
+        f_i_(std::move(f_i)),
+        f_o_(std::move(f_o)) {}
+
+  const WindowMachine<In, Key>& machine() const { return machine_; }
+
+ protected:
+  void on_tuple(int, const Tuple<In>& t) override {
+    machine_.add(
+        t, this->watermark(), fire_,
+        [this](Timestamp l, const Key& key,
+               const std::vector<Tuple<In>>& items) {
+          WindowView<In, Key> view{l, machine_.spec().size, key, items};
+          emit_all(l, items, f_i_(view));
+        });
+  }
+
+  void on_watermark(Timestamp w) override {
+    machine_.advance(w, fire_);
+    this->out_.push_watermark(w);
+  }
+
+  void on_end() override {
+    machine_.flush(fire_);
+    this->out_.push_end();
+  }
+
+ private:
+  void emit_all(Timestamp l, const std::vector<Tuple<In>>& items,
+                std::vector<Out> outs) {
+    const Timestamp ts = machine_.spec().output_ts(l);
+    const std::uint64_t stamp = max_stamp(items);
+    for (Out& o : outs) {
+      this->out_.push_tuple(Tuple<Out>{ts, stamp, std::move(o)});
+    }
+  }
+
+  WindowMachine<In, Key> machine_;
+  IncFn f_i_;
+  FinalFn f_o_;
+  typename WindowMachine<In, Key>::FireFn fire_ =
+      [this](Timestamp l, const Key& key,
+             const std::vector<Tuple<In>>& items, bool) {
+        WindowView<In, Key> view{l, machine_.spec().size, key, items};
+        emit_all(l, items, f_o_(view));
+      };
+};
+
+}  // namespace aggspes

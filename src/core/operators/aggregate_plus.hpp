@@ -1,0 +1,65 @@
+// A+ — the semantically richer Aggregate of § 5.1: identical windowing to
+// the minimal A, but f_O may return an arbitrary number of output tuples
+// per window instance (as Flink's window functions allow). With A+, the
+// Embed/Unfold machinery and conditions C1–C3 are unnecessary, which § 6
+// shows buys back most of the performance gap to Dedicated operators.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/operators/operator_base.hpp"
+#include "core/operators/window_machine.hpp"
+
+namespace aggspes {
+
+template <typename In, typename Out, typename Key>
+class AggregatePlusOp final : public UnaryNode<In, Out> {
+ public:
+  using KeyFn = typename WindowMachine<In, Key>::KeyFn;
+  /// f_O: returns any number of output payloads for the window instance.
+  using AggFn = std::function<std::vector<Out>(const WindowView<In, Key>&)>;
+
+  AggregatePlusOp(WindowSpec spec, KeyFn f_k, AggFn f_o,
+                  int regular_inputs = 1, int loop_inputs = 0)
+      : UnaryNode<In, Out>(regular_inputs, loop_inputs),
+        machine_(spec, std::move(f_k)),
+        f_o_(std::move(f_o)) {}
+
+  const WindowMachine<In, Key>& machine() const { return machine_; }
+
+ protected:
+  void on_tuple(int, const Tuple<In>& t) override {
+    machine_.add(t, this->watermark(), fire_);
+  }
+
+  void on_watermark(Timestamp w) override {
+    machine_.advance(w, fire_);
+    this->out_.push_watermark(w);
+  }
+
+  void on_end() override {
+    machine_.flush(fire_);
+    this->out_.push_end();
+  }
+
+ private:
+  void fire(Timestamp l, const Key& key,
+            const std::vector<Tuple<In>>& items) {
+    WindowView<In, Key> view{l, machine_.spec().size, key, items};
+    const Timestamp ts = machine_.spec().output_ts(l);
+    const std::uint64_t stamp = max_stamp(items);
+    for (Out& o : f_o_(view)) {
+      this->out_.push_tuple(Tuple<Out>{ts, stamp, std::move(o)});
+    }
+  }
+
+  WindowMachine<In, Key> machine_;
+  AggFn f_o_;
+  typename WindowMachine<In, Key>::FireFn fire_ =
+      [this](Timestamp l, const Key& k, const std::vector<Tuple<In>>& items,
+             bool) { fire(l, k, items); };
+};
+
+}  // namespace aggspes

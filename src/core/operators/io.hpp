@@ -1,0 +1,142 @@
+// File ingress/egress: replay a delimited text file as a C1-compliant
+// stream, and persist a stream back to a file. One line = one tuple
+// (timestamp first, then the payload fields); parsing/formatting of the
+// payload is user-supplied, so any record type works.
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/operators/source.hpp"
+#include "core/types.hpp"
+
+namespace aggspes {
+
+/// Splits one CSV line on `delim` (no quoting — the workload formats are
+/// controlled by this library, not arbitrary user CSV).
+inline std::vector<std::string> split_fields(const std::string& line,
+                                             char delim = ',') {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, delim)) fields.push_back(field);
+  if (!line.empty() && line.back() == delim) fields.emplace_back();
+  return fields;
+}
+
+/// Reads `path` into timestamped tuples: each line is
+/// `<timestamp><delim><payload fields...>`. Lines failing `parse` are
+/// counted and skipped (`skipped` out-param, optional). Lines must be in
+/// non-decreasing timestamp order (required for the C1 watermark cadence
+/// the replay source emits); violations throw.
+template <typename T>
+std::vector<Tuple<T>> read_tuples(
+    const std::string& path,
+    const std::function<std::optional<T>(const std::vector<std::string>&)>&
+        parse,
+    char delim = ',', std::size_t* skipped = nullptr) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<Tuple<T>> tuples;
+  std::string line;
+  Timestamp last = kMinTimestamp;
+  std::size_t bad = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = split_fields(line, delim);
+    Timestamp ts = 0;
+    try {
+      ts = std::stoll(fields.at(0));
+    } catch (...) {
+      ++bad;
+      continue;
+    }
+    std::optional<T> value =
+        parse({fields.begin() + 1, fields.end()});
+    if (!value) {
+      ++bad;
+      continue;
+    }
+    if (ts < last) {
+      throw std::runtime_error(path + ": timestamps out of order at t=" +
+                               std::to_string(ts));
+    }
+    last = ts;
+    tuples.push_back({ts, 0, std::move(*value)});
+  }
+  if (skipped) *skipped = bad;
+  return tuples;
+}
+
+/// Source node replaying a file with periodic watermarks (condition C1).
+template <typename T>
+class FileSource final : public NodeBase {
+ public:
+  using ParseFn =
+      std::function<std::optional<T>(const std::vector<std::string>&)>;
+
+  FileSource(const std::string& path, ParseFn parse, Timestamp wm_period,
+             Timestamp flush_slack = 0, char delim = ',')
+      : tuples_(read_tuples<T>(path, parse, delim, &skipped_)) {
+    const Timestamp last = tuples_.empty() ? 0 : tuples_.back().ts;
+    script_ = timed_script(tuples_, wm_period,
+                           last + wm_period + flush_slack + 1);
+  }
+
+  Outlet<T>& out() { return out_; }
+  std::size_t tuple_count() const { return tuples_.size(); }
+  std::size_t skipped_lines() const { return skipped_; }
+
+  void pump() override {
+    for (const Element<T>& e : script_) out_.push(e);
+  }
+
+ private:
+  std::size_t skipped_{0};
+  std::vector<Tuple<T>> tuples_;
+  std::vector<Element<T>> script_;
+  Outlet<T> out_;
+};
+
+/// Sink writing each tuple as `<timestamp><delim><payload fields...>`.
+/// Watermarks and end-of-stream are not persisted (they are runtime
+/// artifacts); the file is flushed on end-of-stream.
+template <typename T>
+class FileSink final : public NodeBase {
+ public:
+  using FormatFn = std::function<std::string(const T&)>;
+
+  FileSink(const std::string& path, FormatFn format, char delim = ',')
+      : out_(path), format_(std::move(format)), delim_(delim),
+        port_([this](const Element<T>& e) { receive(e); }) {
+    if (!out_) throw std::runtime_error("cannot open " + path);
+  }
+
+  Consumer<T>& in() { return port_; }
+  std::size_t written() const { return written_; }
+
+ private:
+  void receive(const Element<T>& e) {
+    if (const auto* t = std::get_if<Tuple<T>>(&e)) {
+      out_ << t->ts << delim_ << format_(t->value) << '\n';
+      ++written_;
+    } else if (is_end(e)) {
+      out_.flush();
+    }
+  }
+
+  std::ofstream out_;
+  FormatFn format_;
+  char delim_;
+  Port<T> port_;
+  std::size_t written_{0};
+};
+
+}  // namespace aggspes

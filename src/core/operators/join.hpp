@@ -1,0 +1,109 @@
+// The Dedicated windowed Join of § 2.1:
+//
+//   S_O = J(Γ(WA, WS, S_I1, f_K¹, L), Γ(WA, WS, S_I2, f_K², L), f_P)
+//
+// Pairs t1 ∈ S_I1, t2 ∈ S_I2 falling in *aligned* instances (γ1.l = γ2.l)
+// with f_K¹(t1) = f_K²(t2) are tested with f_P; matches are forwarded as
+// ⟨γ.l + WS − δ, t1 ⌢ t2⟩. As in SPE-native joins (§ 6.2), matching is
+// *eager*: each arriving tuple is immediately probed against the stored
+// tuples of the other side, so results do not wait for watermarks. The
+// watermark is used to discard instance pairs that can produce no further
+// result (γ.l + WS ≤ W, § 2.3). Per § 3 the paper assumes L = 0 for J.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/operators/operator_base.hpp"
+#include "core/window.hpp"
+
+namespace aggspes {
+
+template <typename L, typename R, typename Key>
+class JoinOp final : public BinaryNode<L, R, std::pair<L, R>> {
+ public:
+  using Out = std::pair<L, R>;
+  using LeftKeyFn = std::function<Key(const L&)>;
+  using RightKeyFn = std::function<Key(const R&)>;
+  using Predicate = std::function<bool(const L&, const R&)>;
+
+  JoinOp(WindowSpec spec, LeftKeyFn f_k1, RightKeyFn f_k2, Predicate f_p)
+      : spec_(spec),
+        f_k1_(std::move(f_k1)),
+        f_k2_(std::move(f_k2)),
+        f_p_(std::move(f_p)) {}
+
+  std::uint64_t comparisons() const { return comparisons_; }
+  std::uint64_t dropped_late() const { return dropped_late_; }
+
+ protected:
+  void on_left(const Tuple<L>& t) override {
+    const Key key = f_k1_(t.value);
+    for_each_open_instance(t.ts, [&](Timestamp l) {
+      Cell& cell = instances_[l][key];
+      for (const Tuple<R>& r : cell.rights) {
+        ++comparisons_;
+        if (f_p_(t.value, r.value)) emit(l, t, r);
+      }
+      cell.lefts.push_back(t);
+    });
+  }
+
+  void on_right(const Tuple<R>& t) override {
+    const Key key = f_k2_(t.value);
+    for_each_open_instance(t.ts, [&](Timestamp l) {
+      Cell& cell = instances_[l][key];
+      for (const Tuple<L>& lft : cell.lefts) {
+        ++comparisons_;
+        if (f_p_(lft.value, t.value)) emit(l, lft, t);
+      }
+      cell.rights.push_back(t);
+    });
+  }
+
+  void on_watermark(Timestamp w) override {
+    // Discard aligned instance pairs that cannot produce further results.
+    while (!instances_.empty() && spec_.closes(instances_.begin()->first, w))
+      instances_.erase(instances_.begin());
+    this->out_.push_watermark(w);
+  }
+
+ private:
+  struct Cell {
+    std::vector<Tuple<L>> lefts;
+    std::vector<Tuple<R>> rights;
+  };
+
+  template <typename Fn>
+  void for_each_open_instance(Timestamp ts, Fn&& fn) {
+    const Timestamp w = this->watermark();
+    for (Timestamp l = spec_.first_instance(ts);
+         l <= spec_.last_instance(ts); l += spec_.advance) {
+      if (spec_.closes(l, w)) {
+        ++dropped_late_;  // instance already discarded (L = 0 for J, § 3)
+        continue;
+      }
+      fn(l);
+    }
+  }
+
+  void emit(Timestamp l, const Tuple<L>& a, const Tuple<R>& b) {
+    this->out_.push_tuple(
+        Tuple<Out>{spec_.output_ts(l), a.stamp > b.stamp ? a.stamp : b.stamp,
+                   Out{a.value, b.value}});
+  }
+
+  WindowSpec spec_;
+  LeftKeyFn f_k1_;
+  RightKeyFn f_k2_;
+  Predicate f_p_;
+  std::map<Timestamp, std::unordered_map<Key, Cell>> instances_;
+  std::uint64_t comparisons_{0};
+  std::uint64_t dropped_late_{0};
+};
+
+}  // namespace aggspes

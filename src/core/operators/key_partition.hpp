@@ -1,0 +1,77 @@
+// Shared-nothing key-by parallelism (§ 2.2): a logical stateful operator is
+// deployed as N physical instances; tuples sharing the same f_K value are
+// routed to the same instance, while watermarks and end-of-stream are
+// broadcast so every instance can make progress.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/hashing.hpp"
+#include "core/types.hpp"
+
+namespace aggspes {
+
+/// Routes tuples to one of `n` outlets by hash(f_K(t)) mod n; broadcasts
+/// watermarks and end-of-stream to all outlets.
+template <typename T, typename Key>
+class KeySplitter final : public NodeBase {
+ public:
+  using KeyFn = std::function<Key(const T&)>;
+
+  KeySplitter(int n, KeyFn key_fn)
+      : key_fn_(std::move(key_fn)),
+        outs_(static_cast<std::size_t>(n)),
+        port_([this](const Element<T>& e) { receive(e); }) {}
+
+  Consumer<T>& in() { return port_; }
+  Outlet<T>& out(int i) { return outs_[static_cast<std::size_t>(i)]; }
+  int instances() const { return static_cast<int>(outs_.size()); }
+
+ private:
+  void receive(const Element<T>& e) {
+    if (const auto* t = std::get_if<Tuple<T>>(&e)) {
+      std::size_t idx = std::hash<Key>{}(key_fn_(t->value)) % outs_.size();
+      outs_[idx].push(e);
+    } else {
+      for (auto& o : outs_) o.push(e);
+    }
+  }
+
+  KeyFn key_fn_;
+  std::vector<Outlet<T>> outs_;
+  Port<T> port_;
+};
+
+/// Routes tuples round-robin (valid for stateless operators, § 2.2);
+/// broadcasts watermarks and end-of-stream.
+template <typename T>
+class RoundRobinSplitter final : public NodeBase {
+ public:
+  explicit RoundRobinSplitter(int n)
+      : outs_(static_cast<std::size_t>(n)),
+        port_([this](const Element<T>& e) { receive(e); }) {}
+
+  Consumer<T>& in() { return port_; }
+  Outlet<T>& out(int i) { return outs_[static_cast<std::size_t>(i)]; }
+  int instances() const { return static_cast<int>(outs_.size()); }
+
+ private:
+  void receive(const Element<T>& e) {
+    if (is_tuple(e)) {
+      outs_[next_].push(e);
+      next_ = (next_ + 1) % outs_.size();
+    } else {
+      for (auto& o : outs_) o.push(e);
+    }
+  }
+
+  std::vector<Outlet<T>> outs_;
+  std::size_t next_{0};
+  Port<T> port_;
+};
+
+}  // namespace aggspes

@@ -1,0 +1,130 @@
+// Reusable node bases: watermark combining, end-of-stream accounting, and
+// loop-port wiring shared by every operator implementation.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+#include "core/watermark.hpp"
+
+namespace aggspes {
+
+/// Single-input-type operator node with `regular_ports` watermark-carrying
+/// inputs plus `loop_ports` feedback inputs (P3: loops deliver tuples only).
+///
+/// Subclasses implement `on_tuple` and may override `on_watermark` (called
+/// when the combined watermark across regular ports strictly increases;
+/// default forwards it) and `on_end` (called once every regular port has
+/// delivered end-of-stream; default forwards it).
+template <typename In, typename Out>
+class UnaryNode : public NodeBase {
+ public:
+  UnaryNode(int regular_ports, int loop_ports)
+      : combiner_(regular_ports), ends_expected_(regular_ports) {
+    const int total = regular_ports + loop_ports;
+    ports_.reserve(static_cast<std::size_t>(total));
+    for (int i = 0; i < total; ++i) {
+      const bool loop = i >= regular_ports;
+      ports_.push_back(std::make_unique<Port<In>>(
+          [this, i, loop](const Element<In>& e) { dispatch(i, loop, e); }));
+    }
+  }
+
+  Consumer<In>& in(int port = 0) {
+    return *ports_[static_cast<std::size_t>(port)];
+  }
+  /// First loop input port (port index `regular_ports`).
+  Consumer<In>& loop_in(int i = 0) {
+    return *ports_[static_cast<std::size_t>(combiner_.ports() + i)];
+  }
+  Outlet<Out>& out() { return out_; }
+
+  int regular_ports() const { return combiner_.ports(); }
+
+ protected:
+  virtual void on_tuple(int port, const Tuple<In>& t) = 0;
+  virtual void on_watermark(Timestamp w) { out_.push_watermark(w); }
+  virtual void on_end() { out_.push_end(); }
+
+  /// Current combined watermark W_O over the regular inputs.
+  Timestamp watermark() const { return combiner_.current(); }
+
+  Outlet<Out> out_;
+
+ private:
+  void dispatch(int port, bool loop, const Element<In>& e) {
+    if (const auto* t = std::get_if<Tuple<In>>(&e)) {
+      on_tuple(port, *t);
+      return;
+    }
+    // Loop channels never deliver watermarks or end-of-stream (P3), but be
+    // defensive against direct (channel-less) injection in tests.
+    if (loop) return;
+    if (const auto* w = std::get_if<Watermark>(&e)) {
+      if (combiner_.advance(port, w->ts)) on_watermark(combiner_.current());
+      return;
+    }
+    if (++ends_seen_ == ends_expected_) on_end();
+  }
+
+  std::vector<std::unique_ptr<Port<In>>> ports_;
+  WatermarkCombiner combiner_;
+  int ends_expected_;
+  int ends_seen_{0};
+};
+
+/// Two-input-type operator node (e.g. the dedicated Join). Port 0 carries
+/// `L` elements, port 1 carries `R` elements; watermarks are min-combined
+/// across both.
+template <typename L, typename R, typename Out>
+class BinaryNode : public NodeBase {
+ public:
+  BinaryNode()
+      : combiner_(2),
+        left_([this](const Element<L>& e) { dispatch_left(e); }),
+        right_([this](const Element<R>& e) { dispatch_right(e); }) {}
+
+  Consumer<L>& in_left() { return left_; }
+  Consumer<R>& in_right() { return right_; }
+  Outlet<Out>& out() { return out_; }
+
+ protected:
+  virtual void on_left(const Tuple<L>& t) = 0;
+  virtual void on_right(const Tuple<R>& t) = 0;
+  virtual void on_watermark(Timestamp w) { out_.push_watermark(w); }
+  virtual void on_end() { out_.push_end(); }
+
+  Timestamp watermark() const { return combiner_.current(); }
+
+  Outlet<Out> out_;
+
+ private:
+  void dispatch_left(const Element<L>& e) {
+    if (const auto* t = std::get_if<Tuple<L>>(&e)) {
+      on_left(*t);
+    } else if (const auto* w = std::get_if<Watermark>(&e)) {
+      if (combiner_.advance(0, w->ts)) on_watermark(combiner_.current());
+    } else {
+      if (++ends_seen_ == 2) on_end();
+    }
+  }
+  void dispatch_right(const Element<R>& e) {
+    if (const auto* t = std::get_if<Tuple<R>>(&e)) {
+      on_right(*t);
+    } else if (const auto* w = std::get_if<Watermark>(&e)) {
+      if (combiner_.advance(1, w->ts)) on_watermark(combiner_.current());
+    } else {
+      if (++ends_seen_ == 2) on_end();
+    }
+  }
+
+  WatermarkCombiner combiner_;
+  int ends_seen_{0};
+  Port<L> left_;
+  Port<R> right_;
+};
+
+}  // namespace aggspes

@@ -1,0 +1,81 @@
+// Stream probes: transparent pass-through nodes that count what flows by —
+// tuples, watermarks, event-time range, late arrivals — without touching
+// semantics. Used for pipeline introspection in examples and tests, and to
+// assert stream invariants (Observation 1, watermark monotonicity) inside
+// larger graphs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+#include "core/operators/operator_base.hpp"
+
+namespace aggspes {
+
+/// What a probe saw on its stream.
+struct StreamStats {
+  std::uint64_t tuples{0};
+  std::uint64_t watermarks{0};
+  Timestamp min_ts{kMaxTimestamp};
+  Timestamp max_ts{kMinTimestamp};
+  Timestamp last_watermark{kMinTimestamp};
+  /// Tuples with τ < the latest preceding watermark (late arrivals).
+  std::uint64_t late_tuples{0};
+  /// Non-increasing watermark pairs (must stay 0 on any sound stream).
+  std::uint64_t watermark_regressions{0};
+  bool ended{false};
+
+  std::string summary() const {
+    std::ostringstream os;
+    os << tuples << " tuples";
+    if (tuples > 0) os << " (t=" << min_ts << ".." << max_ts << ")";
+    os << ", " << watermarks << " watermarks";
+    if (watermarks > 0) os << " (last " << last_watermark << ")";
+    if (late_tuples > 0) os << ", " << late_tuples << " LATE";
+    if (watermark_regressions > 0) {
+      os << ", " << watermark_regressions << " WM-REGRESSIONS";
+    }
+    os << (ended ? ", ended" : ", open");
+    return os.str();
+  }
+};
+
+/// Pass-through probe: forwards every element unchanged and records stats.
+template <typename T>
+class ProbeOp final : public UnaryNode<T, T> {
+ public:
+  ProbeOp() : UnaryNode<T, T>(1, 0) {}
+
+  const StreamStats& stats() const { return stats_; }
+
+ protected:
+  void on_tuple(int, const Tuple<T>& t) override {
+    ++stats_.tuples;
+    stats_.min_ts = std::min(stats_.min_ts, t.ts);
+    stats_.max_ts = std::max(stats_.max_ts, t.ts);
+    if (t.ts < stats_.last_watermark) ++stats_.late_tuples;
+    this->out_.push_tuple(t);
+  }
+
+  void on_watermark(Timestamp w) override {
+    ++stats_.watermarks;
+    if (w <= stats_.last_watermark && stats_.watermarks > 1) {
+      ++stats_.watermark_regressions;
+    }
+    stats_.last_watermark = w;
+    this->out_.push_watermark(w);
+  }
+
+  void on_end() override {
+    stats_.ended = true;
+    this->out_.push_end();
+  }
+
+ private:
+  StreamStats stats_;
+};
+
+}  // namespace aggspes

@@ -1,0 +1,70 @@
+// Egresses for the deterministic runtime: collect outputs for assertions
+// and audit the stream's watermark contract.
+#pragma once
+
+#include <concepts>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace aggspes {
+
+/// Collects every tuple and watermark it receives and audits that
+///  (a) watermarks are strictly increasing, and
+///  (b) no tuple arrives with τ smaller than the last watermark
+///      (i.e. the producing operator created no late arrivals — the C3
+///      guarantee when it guards an X composition's output).
+template <typename T>
+class CollectorSink final : public NodeBase {
+ public:
+  CollectorSink()
+      : port_([this](const Element<T>& e) { receive(e); }) {}
+
+  Consumer<T>& in() { return port_; }
+
+  const std::vector<Tuple<T>>& tuples() const { return tuples_; }
+  const std::vector<Timestamp>& watermarks() const { return watermarks_; }
+  bool ended() const { return ended_; }
+
+  /// Number of tuples that arrived late w.r.t. the preceding watermark.
+  int late_tuples() const { return late_tuples_; }
+  /// Number of non-increasing watermark pairs observed.
+  int watermark_regressions() const { return wm_regressions_; }
+
+  /// Output payload×timestamp multiset, for order-insensitive equivalence
+  /// checks between operator implementations.
+  std::multiset<std::pair<Timestamp, T>> multiset() const
+    requires std::totally_ordered<T>
+  {
+    std::multiset<std::pair<Timestamp, T>> m;
+    for (const auto& t : tuples_) m.emplace(t.ts, t.value);
+    return m;
+  }
+
+ private:
+  void receive(const Element<T>& e) {
+    if (const auto* t = std::get_if<Tuple<T>>(&e)) {
+      if (t->ts < last_wm_) ++late_tuples_;
+      tuples_.push_back(*t);
+    } else if (const auto* w = std::get_if<Watermark>(&e)) {
+      if (w->ts <= last_wm_ && !watermarks_.empty()) ++wm_regressions_;
+      last_wm_ = w->ts;
+      watermarks_.push_back(w->ts);
+    } else {
+      ended_ = true;
+    }
+  }
+
+  Port<T> port_;
+  std::vector<Tuple<T>> tuples_;
+  std::vector<Timestamp> watermarks_;
+  Timestamp last_wm_{kMinTimestamp};
+  bool ended_{false};
+  int late_tuples_{0};
+  int wm_regressions_{0};
+};
+
+}  // namespace aggspes

@@ -1,0 +1,87 @@
+// Ingresses for the deterministic runtime: replay a prepared script of
+// tuples/watermarks, or synthesize the watermark cadence of condition C1
+// (§ 3) from a list of tuples.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace aggspes {
+
+/// Emits an exact, caller-provided element sequence. Used by tests that
+/// need precise control over tuple/watermark interleaving.
+template <typename T>
+class ScriptSource final : public NodeBase {
+ public:
+  explicit ScriptSource(std::vector<Element<T>> script)
+      : script_(std::move(script)) {}
+
+  Outlet<T>& out() { return out_; }
+
+  void pump() override {
+    for (const Element<T>& e : script_) out_.push(e);
+  }
+
+ private:
+  std::vector<Element<T>> script_;
+  Outlet<T> out_;
+};
+
+/// Builds a C1-compliant script from timestamped tuples: watermarks are
+/// emitted with event-time spacing exactly `period` (= D), starting at
+/// `first_ts + period`, and continue past the last tuple until `flush_to`
+/// so every window of interest closes; the script ends with EndOfStream.
+///
+/// Tuples may be out of timestamp order as long as the disorder never
+/// crosses a watermark (the helper asserts each tuple's ts is >= the last
+/// emitted watermark, i.e. the input is *watermark-consistent*).
+template <typename T>
+std::vector<Element<T>> timed_script(const std::vector<Tuple<T>>& tuples,
+                                     Timestamp period, Timestamp flush_to) {
+  std::vector<Element<T>> script;
+  script.reserve(tuples.size() + 8);
+  if (!tuples.empty()) {
+    Timestamp min_ts = tuples.front().ts;
+    for (const auto& t : tuples) min_ts = std::min(min_ts, t.ts);
+    Timestamp next_wm = min_ts + period;  // C1: W0 − t0.τ ≤ D
+    for (const auto& t : tuples) {
+      while (t.ts >= next_wm) {
+        script.push_back(Watermark{next_wm});
+        next_wm += period;
+      }
+      script.push_back(t);
+    }
+    while (next_wm < flush_to) {
+      script.push_back(Watermark{next_wm});
+      next_wm += period;
+    }
+  }
+  script.push_back(Watermark{flush_to});
+  script.push_back(EndOfStream{});
+  return script;
+}
+
+/// Convenience source: timed_script replay.
+template <typename T>
+class TimedSource final : public NodeBase {
+ public:
+  TimedSource(std::vector<Tuple<T>> tuples, Timestamp period,
+              Timestamp flush_to)
+      : script_(timed_script(tuples, period, flush_to)) {}
+
+  Outlet<T>& out() { return out_; }
+
+  void pump() override {
+    for (const Element<T>& e : script_) out_.push(e);
+  }
+
+ private:
+  std::vector<Element<T>> script_;
+  Outlet<T> out_;
+};
+
+}  // namespace aggspes

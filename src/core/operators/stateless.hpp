@@ -1,0 +1,71 @@
+// The Dedicated stateless operators of § 2.1: Filter (F), Map (M) and
+// FlatMap (FM). All three process tuples one by one, preserve the input
+// event time on every output (t_i.τ = t_o.τ), and forward watermarks
+// unchanged.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/operators/operator_base.hpp"
+
+namespace aggspes {
+
+/// F: forwards t iff f_C(t) holds; T(S_I) = T(S_O) and t_i = t_o.
+template <typename T>
+class FilterOp final : public UnaryNode<T, T> {
+ public:
+  using Predicate = std::function<bool(const T&)>;
+
+  explicit FilterOp(Predicate f_c)
+      : UnaryNode<T, T>(1, 0), f_c_(std::move(f_c)) {}
+
+ protected:
+  void on_tuple(int, const Tuple<T>& t) override {
+    if (f_c_(t.value)) this->out_.push_tuple(t);
+  }
+
+ private:
+  Predicate f_c_;
+};
+
+/// M: forwards f_M(t) with t's event time; f_M never sets τ (M does).
+template <typename In, typename Out>
+class MapOp final : public UnaryNode<In, Out> {
+ public:
+  using Fn = std::function<Out(const In&)>;
+
+  explicit MapOp(Fn f_m) : UnaryNode<In, Out>(1, 0), f_m_(std::move(f_m)) {}
+
+ protected:
+  void on_tuple(int, const Tuple<In>& t) override {
+    this->out_.push_tuple(Tuple<Out>{t.ts, t.stamp, f_m_(t.value)});
+  }
+
+ private:
+  Fn f_m_;
+};
+
+/// FM: f_FM(t) may produce zero, one or more outputs, all stamped with t's
+/// event time. This is the Dedicated implementation ("D" in § 6).
+template <typename In, typename Out>
+class FlatMapOp final : public UnaryNode<In, Out> {
+ public:
+  using Fn = std::function<std::vector<Out>(const In&)>;
+
+  explicit FlatMapOp(Fn f_fm)
+      : UnaryNode<In, Out>(1, 0), f_fm_(std::move(f_fm)) {}
+
+ protected:
+  void on_tuple(int, const Tuple<In>& t) override {
+    for (Out& o : f_fm_(t.value)) {
+      this->out_.push_tuple(Tuple<Out>{t.ts, t.stamp, std::move(o)});
+    }
+  }
+
+ private:
+  Fn f_fm_;
+};
+
+}  // namespace aggspes

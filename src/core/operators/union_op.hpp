@@ -1,0 +1,24 @@
+// Union (§ 3, P1): merges several same-typed physical streams into one
+// logical stream. Tuples pass through; the forwarded watermark is the
+// minimum of the inputs' latest watermarks (handled by the UnaryNode
+// base), and end-of-stream propagates once every input ended. SPEs like
+// Flink require an explicit union call for streams of different logical
+// origin — this is that operator.
+#pragma once
+
+#include "core/operators/operator_base.hpp"
+
+namespace aggspes {
+
+template <typename T>
+class UnionOp final : public UnaryNode<T, T> {
+ public:
+  explicit UnionOp(int inputs) : UnaryNode<T, T>(inputs, 0) {}
+
+ protected:
+  void on_tuple(int, const Tuple<T>& t) override {
+    this->out_.push_tuple(t);
+  }
+};
+
+}  // namespace aggspes

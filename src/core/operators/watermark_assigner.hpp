@@ -1,0 +1,89 @@
+// Watermark assignment for raw (watermark-less) streams — the ingress-side
+// machinery condition C1 presumes (§ 2.3: "watermarks are commonly
+// maintained assuming ingresses periodically output watermarks").
+//
+// Two standard policies:
+//  * ascending timestamps: watermark = last seen timestamp (emitted with
+//    event-time period D);
+//  * bounded out-of-orderness: watermark = max seen − bound (disorder up
+//    to `bound` ticks never makes a tuple late), emitted with period D.
+//
+// The assigner guarantees condition C1 on its output: consecutive
+// watermarks at most D apart in event time, the first one within D of the
+// first tuple.
+#pragma once
+
+#include <algorithm>
+
+#include "core/operators/operator_base.hpp"
+
+namespace aggspes {
+
+struct WatermarkPolicy {
+  Timestamp period{100};  ///< D: max event-time distance between watermarks
+  Timestamp bound{0};     ///< tolerated out-of-orderness (0 = ascending)
+};
+
+/// Inserts watermarks into a tuple stream per the policy. Upstream
+/// watermarks, if any, are dropped (this node *owns* event-time progress);
+/// end-of-stream first flushes a final watermark covering everything seen.
+template <typename T>
+class WatermarkAssigner final : public UnaryNode<T, T> {
+ public:
+  explicit WatermarkAssigner(WatermarkPolicy policy)
+      : UnaryNode<T, T>(1, 0), policy_(policy) {}
+
+  /// Tuples older than the emitted watermark (disorder beyond the bound).
+  std::uint64_t violations() const { return violations_; }
+
+ protected:
+  void on_tuple(int, const Tuple<T>& t) override {
+    if (max_ts_ == kMinTimestamp) {
+      // Anchor the cadence at the first tuple: the first emitted watermark
+      // is t0 − bound + D, so W0 − t0 ≤ D (C1's initial condition).
+      next_wm_ = t.ts - policy_.bound + policy_.period;
+    }
+    max_ts_ = std::max(max_ts_, t.ts);
+    if (t.ts < last_wm_) ++violations_;  // late despite the bound
+    this->out_.push_tuple(t);
+    // Emit in D-sized steps up to max seen − bound: the policy promises no
+    // future tuple is older than that.
+    while (next_wm_ <= max_ts_ - policy_.bound) {
+      emit(next_wm_);
+      next_wm_ += policy_.period;
+    }
+  }
+
+  void on_watermark(Timestamp) override {
+    // Upstream watermarks are ignored: this node is the event-time
+    // authority for its output stream.
+  }
+
+  void on_end() override {
+    if (max_ts_ != kMinTimestamp) {
+      // Flush: everything seen is final; keep C1 spacing to the end.
+      const Timestamp final_wm = max_ts_ + kDelta;
+      while (next_wm_ < final_wm) {
+        emit(next_wm_);
+        next_wm_ += policy_.period;
+      }
+      emit(final_wm);
+    }
+    this->out_.push_end();
+  }
+
+ private:
+  void emit(Timestamp w) {
+    if (w <= last_wm_) return;
+    last_wm_ = w;
+    this->out_.push_watermark(w);
+  }
+
+  WatermarkPolicy policy_;
+  Timestamp max_ts_{kMinTimestamp};
+  Timestamp next_wm_{kMinTimestamp};
+  Timestamp last_wm_{kMinTimestamp};
+  std::uint64_t violations_{0};
+};
+
+}  // namespace aggspes

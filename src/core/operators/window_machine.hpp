@@ -1,0 +1,150 @@
+// Shared windowing state machine used by Aggregate, Aggregate+ and the
+// dedicated Join: per-key, per-instance buckets with watermark-driven
+// firing, Dataflow allowed-lateness admission (§ 2.4) and purging.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/window.hpp"
+
+namespace aggspes {
+
+/// Read-only view of one window instance γ handed to user functions f_O.
+template <typename In, typename Key>
+struct WindowView {
+  Timestamp l;                          ///< γ.l, left boundary (inclusive)
+  Timestamp size;                       ///< WS; right boundary is l + WS
+  const Key& key;                       ///< f_K value shared by all items
+  const std::vector<Tuple<In>>& items;  ///< γ.ζ, in arrival order
+};
+
+/// Window-state bookkeeping. The owner provides a `fire` callback invoked
+/// once per (instance, key) when the instance becomes complete, and again
+/// for every admitted late arrival (the Dataflow "updated output" rule).
+template <typename In, typename Key>
+class WindowMachine {
+ public:
+  /// fire(l, key, items, is_late_update)
+  using FireFn = std::function<void(Timestamp, const Key&,
+                                    const std::vector<Tuple<In>>&, bool)>;
+  using KeyFn = std::function<Key(const In&)>;
+
+  WindowMachine(WindowSpec spec, KeyFn key_fn)
+      : spec_(spec), key_fn_(std::move(key_fn)) {}
+
+  const WindowSpec& spec() const { return spec_; }
+
+  /// added(l, key, items) — invoked right after a tuple lands in an
+  /// instance (the hook behind eager/incremental Aggregates, § 6.2's
+  /// "intermediate results" extension).
+  using AddedFn = std::function<void(Timestamp, const Key&,
+                                     const std::vector<Tuple<In>>&)>;
+
+  /// Inserts `t` into every instance it falls in. `w` is the operator's
+  /// current watermark. Instances already complete at `w` re-fire
+  /// immediately (late update); instances past their lateness horizon
+  /// reject the tuple (counted in dropped_late()).
+  void add(const Tuple<In>& t, Timestamp w, const FireFn& fire,
+           const AddedFn& added = {}) {
+    Key key = key_fn_(t.value);
+    for (Timestamp l = spec_.first_instance(t.ts);
+         l <= spec_.last_instance(t.ts); l += spec_.advance) {
+      if (!spec_.admits(l, w)) {
+        ++dropped_late_;
+        continue;
+      }
+      Bucket& b = instances_[l][key];
+      b.items.push_back(t);
+      if (added) added(l, key, b.items);
+      if (spec_.closes(l, w)) {
+        // The instance's result was (or would have been) already produced:
+        // emit an update right away.
+        const bool update = b.fired;
+        b.fired = true;
+        if (update) ++late_updates_;
+#ifdef AGGSPES_DEBUG_LATE
+        // Diagnostic for loop debugging: late updates inside an Unfold loop
+        // indicate broken successor accounting upstream.
+        if (update) {
+          std::fprintf(stderr,
+                       "[late-update] l=%lld w=%lld t.ts=%lld items=%zu\n",
+                       (long long)l, (long long)w, (long long)t.ts,
+                       b.items.size());
+        }
+#endif
+        fire(l, key, b.items, update);
+      }
+    }
+  }
+
+  /// Fires every instance that became complete at watermark `w` and purges
+  /// instances past their lateness horizon.
+  void advance(Timestamp w, const FireFn& fire) {
+    for (auto it = instances_.begin(); it != instances_.end(); ++it) {
+      const Timestamp l = it->first;
+      if (!spec_.closes(l, w)) break;  // map is ordered by l
+      for (auto& [key, bucket] : it->second) {
+        if (!bucket.fired) {
+          bucket.fired = true;
+          ++fired_instances_;
+          fire(l, key, bucket.items, false);
+        }
+      }
+      if (spec_.lateness == 0) it->second.clear();  // purged below
+    }
+    while (!instances_.empty() &&
+           spec_.purgeable(instances_.begin()->first, w)) {
+      instances_.erase(instances_.begin());
+    }
+  }
+
+  /// Fires everything still unfired (end-of-stream flush) and clears state.
+  void flush(const FireFn& fire) {
+    for (auto& [l, keys] : instances_) {
+      for (auto& [key, bucket] : keys) {
+        if (!bucket.fired) {
+          bucket.fired = true;
+          ++fired_instances_;
+          fire(l, key, bucket.items, false);
+        }
+      }
+    }
+    instances_.clear();
+  }
+
+  std::uint64_t dropped_late() const { return dropped_late_; }
+  std::uint64_t late_updates() const { return late_updates_; }
+  std::uint64_t fired_instances() const { return fired_instances_; }
+  std::size_t open_instances() const { return instances_.size(); }
+
+ private:
+  struct Bucket {
+    std::vector<Tuple<In>> items;
+    bool fired{false};
+  };
+
+  WindowSpec spec_;
+  KeyFn key_fn_;
+  std::map<Timestamp, std::unordered_map<Key, Bucket>> instances_;
+  std::uint64_t dropped_late_{0};
+  std::uint64_t late_updates_{0};
+  std::uint64_t fired_instances_{0};
+};
+
+/// Largest wall-clock stamp among a window's items (latency metadata: an
+/// output is attributable to its most recent contributing ingress tuple).
+template <typename In>
+std::uint64_t max_stamp(const std::vector<Tuple<In>>& items) {
+  std::uint64_t s = 0;
+  for (const auto& t : items) s = t.stamp > s ? t.stamp : s;
+  return s;
+}
+
+}  // namespace aggspes

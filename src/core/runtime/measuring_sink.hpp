@@ -1,0 +1,72 @@
+// Egress for the performance evaluation: records, for every output tuple,
+// its arrival wall-clock time and its latency relative to the scheduled
+// injection time of the newest contributing ingress tuple (§ 6.1's latency:
+// the delay of an output's production after the inputs that jointly caused
+// it were all available).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/runtime/metrics.hpp"
+#include "core/types.hpp"
+
+namespace aggspes {
+
+template <typename T>
+class MeasuringSink final : public NodeBase {
+ public:
+  struct Sample {
+    std::uint64_t arrival_ns;
+    std::uint64_t latency_ns;
+  };
+
+  MeasuringSink() : port_([this](const Element<T>& e) { receive(e); }) {
+    samples_.reserve(1 << 20);
+  }
+
+  Consumer<T>& in() { return port_; }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Latency summary over samples that arrived in [from_ns, to_ns].
+  LatencySummary summarize(std::uint64_t from_ns, std::uint64_t to_ns) const {
+    LatencyRecorder rec(samples_.size());
+    for (const Sample& s : samples_) {
+      if (s.arrival_ns >= from_ns && s.arrival_ns <= to_ns) {
+        rec.record(s.latency_ns);
+      }
+    }
+    return rec.summarize();
+  }
+
+  /// Outputs that arrived in [from_ns, to_ns].
+  std::uint64_t count_in(std::uint64_t from_ns, std::uint64_t to_ns) const {
+    std::uint64_t c = 0;
+    for (const Sample& s : samples_) {
+      if (s.arrival_ns >= from_ns && s.arrival_ns <= to_ns) ++c;
+    }
+    return c;
+  }
+
+ private:
+  void receive(const Element<T>& e) {
+    if (const auto* t = std::get_if<Tuple<T>>(&e)) {
+      const std::uint64_t n = now_ns();
+      samples_.push_back({n, t->stamp != 0 && n > t->stamp ? n - t->stamp
+                                                           : 0});
+      count_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  Port<T> port_;
+  std::vector<Sample> samples_;
+  std::atomic<std::uint64_t> count_{0};
+};
+
+}  // namespace aggspes

@@ -1,0 +1,63 @@
+// Performance metrics for the evaluation (§ 6.1 of the paper): throughput
+// in processed tuples (or comparisons) per second, and per-output latency.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace aggspes {
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Summary statistics over a set of latency samples (nanoseconds).
+struct LatencySummary {
+  std::uint64_t count{0};
+  double p50_ms{0};
+  double p99_ms{0};
+  double max_ms{0};
+  double mean_ms{0};
+};
+
+/// Collects latency samples; single-writer, read after the run completes.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t reserve = 1 << 20) {
+    samples_.reserve(reserve);
+  }
+
+  void record(std::uint64_t ns) { samples_.push_back(ns); }
+  void clear() { samples_.clear(); }
+  std::size_t count() const { return samples_.size(); }
+
+  LatencySummary summarize() const {
+    LatencySummary s;
+    s.count = samples_.size();
+    if (samples_.empty()) return s;
+    std::vector<std::uint64_t> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    auto at = [&](double q) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(sorted.size() - 1));
+      return static_cast<double>(sorted[idx]) / 1e6;
+    };
+    s.p50_ms = at(0.50);
+    s.p99_ms = at(0.99);
+    s.max_ms = static_cast<double>(sorted.back()) / 1e6;
+    double sum = 0;
+    for (auto v : sorted) sum += static_cast<double>(v);
+    s.mean_ms = sum / static_cast<double>(sorted.size()) / 1e6;
+    return s;
+  }
+
+ private:
+  std::vector<std::uint64_t> samples_;
+};
+
+}  // namespace aggspes

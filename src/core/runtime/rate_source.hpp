@@ -1,0 +1,97 @@
+// Rate-controlled ingress for the performance evaluation (§ 6.1): emits
+// synthetic tuples at a target injection rate, with C1-compliant periodic
+// watermarks, stamping each tuple with its *scheduled* emission time so
+// that overload (the pipeline falling behind the injection rate) shows up
+// as unbounded latency growth — the paper's sustainability criterion.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "core/graph.hpp"
+#include "core/runtime/metrics.hpp"
+#include "core/types.hpp"
+
+namespace aggspes {
+
+struct RateSourceConfig {
+  double rate{1000.0};          ///< injection rate, tuples/second
+  double duration_s{1.0};       ///< generation duration (wall clock)
+  Timestamp ticks_per_s{1000};  ///< event-time ticks per wall second
+  Timestamp wm_period{100};     ///< D: watermark spacing in ticks (C1)
+  Timestamp flush_horizon{2000};  ///< extra ticks flushed after the end
+  /// Overload cutoff: when backpressure pushes the wall clock past
+  /// duration_s * overrun_factor, stop generating. The run is already
+  /// unsustainable by then; emitting the backlog would only stretch the
+  /// benchmark (the paper instead bounds run time at 10 minutes).
+  double overrun_factor{1.5};
+};
+
+template <typename T>
+class RateSource final : public NodeBase {
+ public:
+  using Generator = std::function<T(std::uint64_t)>;
+
+  RateSource(RateSourceConfig cfg, Generator gen)
+      : cfg_(cfg), gen_(std::move(gen)) {}
+
+  Outlet<T>& out() { return out_; }
+
+  /// Tuples emitted so far (sampled by the harness for throughput).
+  std::uint64_t emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Wall-clock seconds the generation loop took (valid after the run).
+  double emission_seconds() const {
+    return static_cast<double>(emission_ns_.load(std::memory_order_relaxed)) /
+           1e9;
+  }
+
+  void pump() override {
+    const auto total = static_cast<std::uint64_t>(cfg_.rate * cfg_.duration_s);
+    const std::uint64_t start = now_ns();
+    const auto cutoff = start + static_cast<std::uint64_t>(
+                                    cfg_.duration_s * cfg_.overrun_factor *
+                                    1e9);
+    Timestamp next_wm = cfg_.wm_period;
+    for (std::uint64_t i = 0; i < total; ++i) {
+      const auto sched_ns = static_cast<std::uint64_t>(
+          static_cast<double>(i) / cfg_.rate * 1e9);
+      if (start + sched_ns > cutoff || now_ns() > cutoff) break;
+      while (now_ns() < start + sched_ns) std::this_thread::yield();
+      const auto ts = static_cast<Timestamp>(
+          static_cast<double>(sched_ns) / 1e9 *
+          static_cast<double>(cfg_.ticks_per_s));
+      while (ts >= next_wm) {
+        out_.push_watermark(next_wm);
+        next_wm += cfg_.wm_period;
+      }
+      out_.push_tuple(Tuple<T>{ts, start + sched_ns, gen_(i)});
+      emitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Close every window of interest: step watermarks (C1) past the end.
+    const auto end_ts = static_cast<Timestamp>(
+        cfg_.duration_s * static_cast<double>(cfg_.ticks_per_s));
+    const Timestamp flush_to = end_ts + cfg_.flush_horizon;
+    while (next_wm < flush_to) {
+      out_.push_watermark(next_wm);
+      next_wm += cfg_.wm_period;
+    }
+    out_.push_watermark(flush_to);
+    emission_ns_.store(now_ns() - start, std::memory_order_relaxed);
+    out_.push_end();
+  }
+
+ private:
+  RateSourceConfig cfg_;
+  Generator gen_;
+  Outlet<T> out_;
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> emission_ns_{0};
+};
+
+}  // namespace aggspes

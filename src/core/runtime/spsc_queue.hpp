@@ -1,0 +1,79 @@
+// Bounded single-producer/single-consumer ring buffer. Each physical
+// stream between two operator threads is one of these; a full queue blocks
+// the producer, giving the pipeline natural backpressure.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace aggspes {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (for mask indexing).
+  explicit SpscQueue(std::size_t capacity = 1024) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Attempts to enqueue. On failure (queue full) `v` is left untouched —
+  /// the parameter is a reference, so nothing is moved until success.
+  bool try_push(T&& v) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == buffer_.size()) return false;  // full
+    buffer_[head & mask_] = std::move(v);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_push(const T& v) {
+    T copy = v;
+    return try_push(std::move(copy));
+  }
+
+  /// Blocking push: spins (with yields) until space is available.
+  void push(T v) {
+    while (!try_push(std::move(v))) {
+      std::this_thread::yield();
+    }
+  }
+
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;  // empty
+    out = std::move(buffer_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return buffer_.size(); }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace aggspes

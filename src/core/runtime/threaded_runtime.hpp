@@ -1,0 +1,164 @@
+// Thread-per-node physical runtime used by the benchmarks: every node of
+// the logical graph becomes one worker thread, every edge an SPSC channel.
+// Bounded channels give backpressure; loop channels are unbounded (and
+// mutex-guarded) so feedback can never deadlock the pipeline — this is our
+// equivalent of the paper's own loop-handling workaround for FLINK-2497.
+//
+// Lifecycle: a node thread pumps (sources generate here), then polls its
+// input channels round-robin. A node with outputs exits once it has pushed
+// EndOfStream downstream; a sink exits once all its inputs delivered
+// EndOfStream.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/runtime/spsc_queue.hpp"
+
+namespace aggspes {
+
+class ThreadedFlow {
+ public:
+  template <typename Node, typename... Args>
+  Node& add(Args&&... args) {
+    auto node = std::make_unique<Node>(std::forward<Args>(args)...);
+    Node& ref = *node;
+    runners_.push_back(std::make_unique<Runner>(std::move(node)));
+    index_[&ref] = runners_.back().get();
+    return ref;
+  }
+
+  /// Connects `from_node`'s outlet to `to_node`'s consumer port. Both nodes
+  /// must have been created with add().
+  template <typename T>
+  void connect(NodeBase& from_node, Outlet<T>& from, NodeBase& to_node,
+               Consumer<T>& to, EdgeKind kind = EdgeKind::kNormal,
+               std::size_t capacity = kDefaultCapacity) {
+    Runner* producer = index_.at(&from_node);
+    Runner* consumer = index_.at(&to_node);
+    auto chan = std::make_unique<ThreadedChannel<T>>(
+        to, kind == EdgeKind::kLoop, capacity, producer);
+    from.subscribe(chan.get());
+    producer->has_outputs = true;
+    consumer->inputs.push_back(chan.get());
+    channels_.push_back(std::move(chan));
+  }
+
+  /// Runs every node on its own thread; returns when the whole graph
+  /// completed (every thread exited).
+  void run() {
+    std::vector<std::thread> threads;
+    threads.reserve(runners_.size());
+    for (auto& r : runners_) {
+      threads.emplace_back([raw = r.get()] { raw->run(); });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+ private:
+  struct Runner;
+
+  class ChannelBase {
+   public:
+    virtual ~ChannelBase() = default;
+    /// Delivers one element if available; returns whether it did.
+    virtual bool deliver_one() = 0;
+    virtual bool delivered_end() const = 0;
+  };
+
+  struct Runner {
+    explicit Runner(std::unique_ptr<NodeBase> n) : node(std::move(n)) {}
+
+    void run() {
+      node->pump();
+      for (;;) {
+        bool any = false;
+        bool all_ended = !inputs.empty();
+        for (ChannelBase* ch : inputs) {
+          any |= ch->deliver_one();
+          all_ended &= ch->delivered_end();
+        }
+        if (has_outputs) {
+          if (emitted_end.load(std::memory_order_acquire)) return;
+          // Source-only nodes (no inputs) that never emit End would spin
+          // forever; treat pump() completion without End as done.
+          if (inputs.empty() && !any) return;
+        } else if (all_ended) {
+          return;
+        }
+        if (!any) std::this_thread::yield();
+      }
+    }
+
+    std::unique_ptr<NodeBase> node;
+    std::vector<ChannelBase*> inputs;
+    bool has_outputs{false};
+    std::atomic<bool> emitted_end{false};
+  };
+
+  template <typename T>
+  class ThreadedChannel final : public Channel<T>, public ChannelBase {
+   public:
+    ThreadedChannel(Consumer<T>& target, bool loop, std::size_t capacity,
+                    Runner* producer)
+        : target_(target), loop_(loop), queue_(capacity),
+          producer_(producer) {}
+
+    void push(const Element<T>& e) override {
+      if (is_end(e)) {
+        producer_->emitted_end.store(true, std::memory_order_release);
+      }
+      if (loop_) {
+        std::lock_guard<std::mutex> lk(mu_);
+        overflow_.push_back(e);
+      } else {
+        queue_.push(e);
+      }
+    }
+
+    bool loop() const override { return loop_; }
+
+    bool deliver_one() override {
+      Element<T> e;
+      if (loop_) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (overflow_.empty()) return false;
+        e = std::move(overflow_.front());
+        overflow_.pop_front();
+      } else if (!queue_.try_pop(e)) {
+        return false;
+      }
+      if (is_end(e)) ended_.store(true, std::memory_order_release);
+      target_.receive(e);
+      return true;
+    }
+
+    bool delivered_end() const override {
+      return ended_.load(std::memory_order_acquire);
+    }
+
+   private:
+    Consumer<T>& target_;
+    bool loop_;
+    SpscQueue<Element<T>> queue_;
+    std::mutex mu_;
+    std::deque<Element<T>> overflow_;
+    Runner* producer_;
+    std::atomic<bool> ended_{false};
+  };
+
+  std::vector<std::unique_ptr<Runner>> runners_;
+  std::vector<std::unique_ptr<ChannelBase>> channels_;
+  std::unordered_map<const NodeBase*, Runner*> index_;
+};
+
+}  // namespace aggspes

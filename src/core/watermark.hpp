@@ -1,0 +1,54 @@
+// Watermark bookkeeping (§ 2.3 of the paper).
+//
+// An operator fed by several input streams stores the latest watermark seen
+// on each and takes the minimum as its own watermark W_O. Loop inputs (P3)
+// are excluded: a watermark forwarded by A is never fed back to A.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace aggspes {
+
+/// Tracks the combined watermark of a multi-input operator.
+class WatermarkCombiner {
+ public:
+  /// `ports`: number of watermark-carrying inputs. Zero-port combiners (all
+  /// inputs are loops) never advance.
+  explicit WatermarkCombiner(int ports = 1)
+      : latest_(static_cast<std::size_t>(ports), kMinTimestamp) {}
+
+  int ports() const { return static_cast<int>(latest_.size()); }
+
+  /// Records watermark `ts` on `port`. Returns true if the *combined*
+  /// watermark strictly increased (the caller should then trigger windows
+  /// and forward the new value).
+  bool advance(int port, Timestamp ts) {
+    auto& slot = latest_[static_cast<std::size_t>(port)];
+    // Watermarks are monotonic per stream; ignore stale ones defensively.
+    if (ts <= slot) return false;
+    slot = ts;
+    Timestamp combined = *std::min_element(latest_.begin(), latest_.end());
+    if (combined > combined_) {
+      combined_ = combined;
+      return true;
+    }
+    return false;
+  }
+
+  /// The operator's current watermark W_O^ω.
+  Timestamp current() const { return combined_; }
+
+  /// Latest watermark seen on one port.
+  Timestamp port_watermark(int port) const {
+    return latest_[static_cast<std::size_t>(port)];
+  }
+
+ private:
+  std::vector<Timestamp> latest_;
+  Timestamp combined_{kMinTimestamp};
+};
+
+}  // namespace aggspes

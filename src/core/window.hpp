@@ -1,0 +1,84 @@
+// Time-based window specification and instance math (§ 2.1 of the paper).
+//
+// A window Γ(WA, WS, S, f_K, L) covers the epochs [ℓ·WA, ℓ·WA + WS) for
+// ℓ ∈ Z. Each such epoch is a window *instance* γ, identified here by its
+// left boundary γ.l = ℓ·WA. Sliding windows (WA < WS) overlap; tumbling
+// windows (WA = WS) partition the time line.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace aggspes {
+
+/// Floor division that rounds toward negative infinity (C++ `/` truncates
+/// toward zero, which mis-assigns negative timestamps to windows).
+constexpr Timestamp floor_div(Timestamp a, Timestamp b) {
+  Timestamp q = a / b;
+  Timestamp r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+/// Static parameters of a window Γ: advance, size, allowed lateness.
+struct WindowSpec {
+  Timestamp advance{kDelta};  ///< WA
+  Timestamp size{kDelta};     ///< WS
+  Timestamp lateness{0};      ///< L (§ 2.4); 0 = drop all late arrivals
+
+  constexpr bool tumbling() const { return advance == size; }
+
+  /// Left boundary of the *latest* instance containing event time ts.
+  constexpr Timestamp last_instance(Timestamp ts) const {
+    return floor_div(ts, advance) * advance;
+  }
+
+  /// Left boundary of the *earliest* instance containing event time ts:
+  /// the smallest multiple of WA strictly greater than ts - WS.
+  constexpr Timestamp first_instance(Timestamp ts) const {
+    // Smallest l = k*WA with l > ts - WS  <=>  k = floor((ts - WS)/WA) + 1.
+    return (floor_div(ts - size, advance) + 1) * advance;
+  }
+
+  /// All instance left-boundaries containing ts, ascending.
+  std::vector<Timestamp> instances(Timestamp ts) const {
+    std::vector<Timestamp> out;
+    for (Timestamp l = first_instance(ts); l <= last_instance(ts);
+         l += advance) {
+      out.push_back(l);
+    }
+    return out;
+  }
+
+  /// Exclusive right boundary of the instance with left boundary l.
+  constexpr Timestamp end(Timestamp l) const { return l + size; }
+
+  /// Event time assigned to outputs of the instance with left boundary l:
+  /// γ.l + WS - δ (§ 2.1).
+  constexpr Timestamp output_ts(Timestamp l) const {
+    return l + size - kDelta;
+  }
+
+  /// True once watermark w guarantees the instance at l is complete
+  /// (γ.l + WS <= W, § 2.3) and its result may be produced.
+  constexpr bool closes(Timestamp l, Timestamp w) const {
+    return end(l) <= w;
+  }
+
+  /// True once watermark w allows purging the instance at l: even late
+  /// arrivals can no longer be admitted (γ.l + WS + L <= W, § 2.4).
+  constexpr bool purgeable(Timestamp l, Timestamp w) const {
+    return end(l) + lateness <= w;
+  }
+
+  /// Dataflow late-arrival rule (§ 2.4): a tuple falling in the instance at
+  /// l, processed while the operator watermark is w, is admitted iff
+  /// γ.l + WS <= w + L fails to *exclude* it — i.e. iff the instance is not
+  /// yet purgeable.
+  constexpr bool admits(Timestamp l, Timestamp w) const {
+    return !purgeable(l, w);
+  }
+};
+
+}  // namespace aggspes

@@ -1,0 +1,80 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+namespace aggspes::harness {
+
+void print_section(const std::string& title) {
+  const std::string bar(title.size() + 4, '=');
+  std::cout << "\n" << bar << "\n| " << title << " |\n" << bar << "\n";
+}
+
+void print_table(const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    widths[c] = header[c].size();
+  }
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::cout << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      std::cout << " " << cell << std::string(widths[c] - cell.size(), ' ')
+                << " |";
+    }
+    std::cout << "\n";
+  };
+  std::size_t total = 1;
+  for (auto w : widths) total += w + 3;
+  const std::string rule(total, '-');
+  std::cout << rule << "\n";
+  print_row(header);
+  std::cout << rule << "\n";
+  for (const auto& row : rows) print_row(row);
+  std::cout << rule << "\n";
+}
+
+std::string fmt_rate(double v) {
+  char buf[32];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+std::string fmt_ms(double v) {
+  char buf[32];
+  if (v >= 1000) {
+    std::snprintf(buf, sizeof buf, "%.2fs", v / 1000);
+  } else if (v >= 1) {
+    std::snprintf(buf, sizeof buf, "%.1fms", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fms", v);
+  }
+  return buf;
+}
+
+std::string fmt_selectivity(double v) {
+  char buf[32];
+  if (v == 0) return "0";
+  if (v >= 0.01) {
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1e", v);
+  }
+  return buf;
+}
+
+}  // namespace aggspes::harness

@@ -1,0 +1,22 @@
+// Fixed-width table printing for the benchmark binaries, so each bench's
+// stdout mirrors the corresponding paper figure/table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aggspes::harness {
+
+/// Prints a boxed section header ("Figure 7 — ...").
+void print_section(const std::string& title);
+
+/// Prints one table: header row + rows, columns padded to fit.
+void print_table(const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Human-friendly numbers: 12345.6 -> "12.3k", 0.00123 -> "1.2e-3".
+std::string fmt_rate(double v);
+std::string fmt_ms(double v);
+std::string fmt_selectivity(double v);
+
+}  // namespace aggspes::harness

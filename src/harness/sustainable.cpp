@@ -1,0 +1,30 @@
+#include "harness/sustainable.hpp"
+
+namespace aggspes::harness {
+
+SustainableResult find_max_sustainable(const RateRunner& run,
+                                       const std::vector<double>& rates,
+                                       double p99_bound_ms) {
+  SustainableResult out;
+  int consecutive_failures = 0;
+  for (double rate : rates) {
+    RunResult r = run(rate);
+    // A run is successful if latency stays within the bound and the source
+    // was able to keep (close to) its injection schedule.
+    const bool latency_ok =
+        r.latency.count == 0 || r.latency.p99_ms <= p99_bound_ms;
+    const bool rate_ok = r.achieved_per_s >= 0.85 * r.offered_per_s;
+    const bool success = latency_ok && rate_ok;
+    out.ladder.push_back({rate, r, success});
+    if (success) {
+      out.max_sustainable = r.achieved_per_s;
+      out.best = r;
+      consecutive_failures = 0;
+    } else if (++consecutive_failures >= 2) {
+      break;  // rates only get harder from here
+    }
+  }
+  return out;
+}
+
+}  // namespace aggspes::harness

@@ -1,0 +1,235 @@
+// The paper's evaluation methodology (§ 6.1), scaled down: run a pipeline
+// at a ladder of injection rates; a run is *successful* if its p99 latency
+// stays below a bound; the maximum sustainable throughput is the highest
+// successful rate's achieved throughput. (Paper: 10-minute runs and a 15 s
+// bound on a cluster; here sub-second measure windows and a proportionally
+// scaled bound — see EXPERIMENTS.md.)
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aggbased/aplus.hpp"
+#include "aggbased/flatmap.hpp"
+#include "aggbased/join.hpp"
+#include "core/operators/join.hpp"
+#include "core/operators/stateless.hpp"
+#include "core/runtime/measuring_sink.hpp"
+#include "core/runtime/rate_source.hpp"
+#include "core/runtime/threaded_runtime.hpp"
+
+namespace aggspes::harness {
+
+/// The three § 6 implementations under comparison.
+enum class Impl { kDedicated, kAggBased, kAPlus };
+
+inline const char* impl_name(Impl i) {
+  switch (i) {
+    case Impl::kDedicated: return "D";
+    case Impl::kAggBased: return "A";
+    case Impl::kAPlus: return "A+";
+  }
+  return "?";
+}
+
+inline const std::vector<Impl>& all_impls() {
+  static const std::vector<Impl> v{Impl::kDedicated, Impl::kAggBased,
+                                   Impl::kAPlus};
+  return v;
+}
+
+struct RunConfig {
+  double rate{10000};        ///< total injection rate, tuples/second
+  double duration_s{0.8};    ///< generation duration
+  double warmup_s{0.2};      ///< excluded from metrics (head)
+  double cooldown_s{0.1};    ///< excluded from metrics (tail)
+  Timestamp ticks_per_s{1000};
+  Timestamp wm_period{100};  ///< D, in ticks (event-time ms)
+  std::uint64_t seed{42};
+};
+
+struct RunResult {
+  double offered_per_s{0};   ///< configured injection rate
+  double achieved_per_s{0};  ///< rate the source actually sustained
+  double outputs_per_s{0};   ///< sink arrivals within the measure window
+  double comparisons_per_s{0};  ///< joins: predicate invocations / wall s
+  LatencySummary latency;       ///< over the measure window
+};
+
+/// A pipeline runner at a given injection rate (implementation and
+/// workload already bound).
+using RateRunner = std::function<RunResult(double rate)>;
+
+struct SustainablePoint {
+  double rate;
+  RunResult result;
+  bool success;
+};
+
+struct SustainableResult {
+  double max_sustainable{0};   ///< achieved t/s of the best successful run
+  RunResult best;              ///< metrics of that run
+  std::vector<SustainablePoint> ladder;
+};
+
+/// Walks `rates` ascending, stopping after two consecutive failures.
+SustainableResult find_max_sustainable(const RateRunner& run,
+                                       const std::vector<double>& rates,
+                                       double p99_bound_ms);
+
+namespace detail {
+
+template <typename In>
+RateSourceConfig source_config(const RunConfig& cfg, double rate,
+                               Timestamp flush_horizon) {
+  return RateSourceConfig{.rate = rate,
+                          .duration_s = cfg.duration_s,
+                          .ticks_per_s = cfg.ticks_per_s,
+                          .wm_period = cfg.wm_period,
+                          .flush_horizon = flush_horizon};
+}
+
+/// Shared post-run bookkeeping: metrics over the measure window.
+/// `emit_s` is the wall time of the generation loop (backpressure makes it
+/// exceed the configured duration on unsustainable rates).
+template <typename Out>
+RunResult finalize(const RunConfig& cfg, double offered,
+                   std::uint64_t t_start, std::uint64_t t_end,
+                   std::uint64_t emitted, double emit_s,
+                   const MeasuringSink<Out>& sink,
+                   std::uint64_t comparisons) {
+  RunResult r;
+  r.offered_per_s = offered;
+  const double wall_s =
+      static_cast<double>(t_end - t_start) / 1e9;
+  r.achieved_per_s =
+      emit_s > 0 ? static_cast<double>(emitted) / emit_s : 0;
+  const std::uint64_t from =
+      t_start + static_cast<std::uint64_t>(cfg.warmup_s * 1e9);
+  const std::uint64_t to =
+      t_start +
+      static_cast<std::uint64_t>((cfg.duration_s - cfg.cooldown_s) * 1e9);
+  const double window_s =
+      (static_cast<double>(to) - static_cast<double>(from)) / 1e9;
+  r.outputs_per_s =
+      window_s > 0
+          ? static_cast<double>(sink.count_in(from, to)) / window_s
+          : 0;
+  r.latency = sink.summarize(from, to);
+  r.comparisons_per_s =
+      wall_s > 0 ? static_cast<double>(comparisons) / wall_s : 0;
+  return r;
+}
+
+}  // namespace detail
+
+/// Builds and runs one FM experiment (D / A / A+) at cfg.rate.
+template <typename In, typename Out>
+RunResult run_fm(Impl impl, const RunConfig& cfg,
+                 std::function<In(std::uint64_t)> gen,
+                 FlatMapFn<In, Out> f_fm) {
+  ThreadedFlow flow;
+  const Timestamp flush = 3 * cfg.wm_period + 10;
+  auto& src = flow.add<RateSource<In>>(
+      detail::source_config<In>(cfg, cfg.rate, flush), std::move(gen));
+  auto& sink = flow.add<MeasuringSink<Out>>();
+
+  switch (impl) {
+    case Impl::kDedicated: {
+      auto& op = flow.add<FlatMapOp<In, Out>>(std::move(f_fm));
+      flow.connect(src, src.out(), op, op.in());
+      flow.connect(op, op.out(), sink, sink.in());
+      break;
+    }
+    case Impl::kAggBased: {
+      // The composite is only a wiring helper holding references to
+      // flow-owned nodes; it need not outlive this scope.
+      AggBasedFlatMap<In, Out> op(flow, std::move(f_fm),
+                                  /*lateness=*/cfg.wm_period);
+      flow.connect(src, src.out(), op.in_node(), op.in());
+      flow.connect(op.out_node(), op.out(), sink, sink.in());
+      break;
+    }
+    case Impl::kAPlus: {
+      auto& op = make_aplus_flatmap<In, Out>(flow, std::move(f_fm));
+      flow.connect(src, src.out(), op, op.in());
+      flow.connect(op, op.out(), sink, sink.in());
+      break;
+    }
+  }
+
+  const std::uint64_t t0 = now_ns();
+  flow.run();
+  const std::uint64_t t1 = now_ns();
+  return detail::finalize(cfg, cfg.rate, t0, t1, src.emitted(),
+                          src.emission_seconds(), sink, 0);
+}
+
+/// Builds and runs one J experiment (D / A / A+) at cfg.rate, split evenly
+/// over the two input streams. `counted_pred` invocations are tallied for
+/// the comparisons/second metric (§ 6.1: J throughput is measured in c/s).
+template <typename L, typename R, typename Key>
+RunResult run_join(Impl impl, const RunConfig& cfg,
+                   std::function<L(std::uint64_t)> gen_l,
+                   std::function<R(std::uint64_t)> gen_r, WindowSpec spec,
+                   std::function<Key(const L&)> f_k1,
+                   std::function<Key(const R&)> f_k2,
+                   std::function<bool(const L&, const R&)> f_p) {
+  ThreadedFlow flow;
+  auto comparisons = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto counted_pred = [f_p = std::move(f_p), comparisons](const L& a,
+                                                          const R& b) {
+    comparisons->fetch_add(1, std::memory_order_relaxed);
+    return f_p(a, b);
+  };
+  const Timestamp flush = spec.size + 3 * cfg.wm_period + 10;
+  auto& src_l = flow.add<RateSource<L>>(
+      detail::source_config<L>(cfg, cfg.rate / 2, flush), std::move(gen_l));
+  auto& src_r = flow.add<RateSource<R>>(
+      detail::source_config<R>(cfg, cfg.rate / 2, flush), std::move(gen_r));
+  auto& sink = flow.add<MeasuringSink<std::pair<L, R>>>();
+
+  switch (impl) {
+    case Impl::kDedicated: {
+      auto& op = flow.add<JoinOp<L, R, Key>>(spec, std::move(f_k1),
+                                             std::move(f_k2), counted_pred);
+      flow.connect(src_l, src_l.out(), op, op.in_left());
+      flow.connect(src_r, src_r.out(), op, op.in_right());
+      flow.connect(op, op.out(), sink, sink.in());
+      break;
+    }
+    case Impl::kAggBased: {
+      AggBasedJoin<L, R, Key> op(flow, spec, std::move(f_k1),
+                                 std::move(f_k2), counted_pred,
+                                 /*lateness=*/cfg.wm_period);
+      flow.connect(src_l, src_l.out(), op.left_in_node(), op.left_in());
+      flow.connect(src_r, src_r.out(), op.right_in_node(), op.right_in());
+      flow.connect(op.out_node(), op.out(), sink, sink.in());
+      break;
+    }
+    case Impl::kAPlus: {
+      AplusJoin<L, R, Key> op(flow, spec, std::move(f_k1), std::move(f_k2),
+                              counted_pred);
+      flow.connect(src_l, src_l.out(), op.left_in_node(), op.left_in());
+      flow.connect(src_r, src_r.out(), op.right_in_node(), op.right_in());
+      flow.connect(op.out_node(), op.out(), sink, sink.in());
+      break;
+    }
+  }
+
+  const std::uint64_t t0 = now_ns();
+  flow.run();
+  const std::uint64_t t1 = now_ns();
+  return detail::finalize(
+      cfg, cfg.rate, t0, t1, src_l.emitted() + src_r.emitted(),
+      std::max(src_l.emission_seconds(), src_r.emission_seconds()), sink,
+      comparisons->load());
+}
+
+}  // namespace aggspes::harness

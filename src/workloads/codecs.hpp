@@ -1,0 +1,69 @@
+// Text codecs for the workload record types, pairing with the FileSource/
+// FileSink operators: persist synthetic datasets to disk and replay them,
+// so experiments can run from identical on-disk inputs (the role the
+// paper's WikiAtomicEdits / LiDAR files play).
+#pragma once
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "workloads/scans.hpp"
+#include "workloads/wiki.hpp"
+
+namespace aggspes::wiki {
+
+/// `orig|change|updated` with spaces intact; '|' never occurs in the
+/// generated text.
+inline std::string format_edit(const WikiEdit& e) {
+  return e.orig + "|" + e.change + "|" + e.updated;
+}
+
+inline std::optional<WikiEdit> parse_edit(
+    const std::vector<std::string>& fields) {
+  // FileSource splits on the record delimiter; the edit itself is one
+  // field containing '|'-separated text.
+  if (fields.size() != 1) return std::nullopt;
+  const std::string& s = fields[0];
+  const auto p1 = s.find('|');
+  if (p1 == std::string::npos) return std::nullopt;
+  const auto p2 = s.find('|', p1 + 1);
+  if (p2 == std::string::npos) return std::nullopt;
+  return WikiEdit{s.substr(0, p1), s.substr(p1 + 1, p2 - p1 - 1),
+                  s.substr(p2 + 1)};
+}
+
+}  // namespace aggspes::wiki
+
+namespace aggspes::scans {
+
+/// `id;d0;d1;...;d179` — ';'-separated so the record delimiter (',')
+/// stays free for the FileSource framing.
+inline std::string format_scan(const Scan2D& s) {
+  std::ostringstream os;
+  os << s.id;
+  os.precision(6);
+  os << std::fixed;
+  for (double d : s.dist) os << ';' << d;
+  return os.str();
+}
+
+inline std::optional<Scan2D> parse_scan(
+    const std::vector<std::string>& fields) {
+  if (fields.size() != 1) return std::nullopt;
+  std::istringstream is(fields[0]);
+  std::string token;
+  if (!std::getline(is, token, ';')) return std::nullopt;
+  Scan2D s;
+  try {
+    s.id = std::stoi(token);
+    while (std::getline(is, token, ';')) s.dist.push_back(std::stod(token));
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (s.dist.empty()) return std::nullopt;
+  return s;
+}
+
+}  // namespace aggspes::scans

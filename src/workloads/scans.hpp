@@ -1,0 +1,99 @@
+// Synthetic 2D rangefinder workload.
+//
+// The paper's edge-side experiments (Table 1, lower-case IDs) process 2D
+// laser scans ⟨τ, id, dist[]⟩ from an industrial setup (EUR-pallet
+// detection). That dataset is substituted by a seeded generator producing
+// 180-beam scans of a noisy environment with varying sensor-to-wall
+// distance, tuned so the Table 1 selectivities are reproduced (validated by
+// bench_table1_selectivity). See DESIGN.md § 5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hashing.hpp"
+
+namespace aggspes::scans {
+
+inline constexpr int kBeams = 180;
+
+/// One 2D scan: `dist[i]` is the range reading of beam i (radians i·π/180).
+struct Scan2D {
+  int id{0};
+  std::vector<double> dist;
+
+  friend bool operator==(const Scan2D&, const Scan2D&) = default;
+};
+
+/// A scan converted to Cartesian coordinates, possibly one of three parts.
+struct CartesianScan {
+  int id{0};
+  int part{0};  ///< 0 when whole; 0/1/2 when split in three
+  std::vector<double> xs;
+  std::vector<double> ys;
+
+  friend bool operator==(const CartesianScan&, const CartesianScan&) =
+      default;
+};
+
+/// Deterministic, seeded scan generator.
+class ScanGenerator {
+ public:
+  explicit ScanGenerator(std::uint64_t seed) : seed_(seed) {}
+
+  /// Scan for generation index i (stateless in i: reproducible streams).
+  Scan2D make(std::uint64_t i) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Polar -> Cartesian conversion from the sensor origin (low cost).
+CartesianScan to_cartesian(const Scan2D& s);
+
+/// Polar -> Cartesian and re-expression relative to a reference point
+/// (high cost: extra hypot/atan2 per beam, as in the *hf experiments).
+CartesianScan to_cartesian_from_reference(const Scan2D& s, double rx,
+                                          double ry);
+
+/// Mean of the raw distance readings, in meters.
+double avg_dist(const Scan2D& s);
+
+/// Mean point distance from the reference point of a converted scan.
+double avg_dist_from_reference(const CartesianScan& c);
+
+/// Splits a converted scan into three equal parts (part = 0, 1, 2).
+std::vector<CartesianScan> split3(const CartesianScan& c);
+
+/// Sum of |a.dist[i] − b.dist[i]| (the scan-difference metric of the *lj
+/// experiments).
+double sum_abs_diff(const Scan2D& a, const Scan2D& b);
+
+/// Key-by for the scan joins: the quantized mean distance, so scans taken
+/// at similar range land on the same physical instance. (Table 1 leaves
+/// the edge joins' key unspecified; see DESIGN.md.)
+int mean_bucket(const Scan2D& s);
+
+}  // namespace aggspes::scans
+
+namespace std {
+template <>
+struct hash<aggspes::scans::Scan2D> {
+  size_t operator()(const aggspes::scans::Scan2D& s) const {
+    size_t seed = aggspes::hash_range(s.dist.begin(), s.dist.end());
+    aggspes::hash_combine(seed, s.id);
+    return seed;
+  }
+};
+template <>
+struct hash<aggspes::scans::CartesianScan> {
+  size_t operator()(const aggspes::scans::CartesianScan& c) const {
+    size_t seed = aggspes::hash_range(c.xs.begin(), c.xs.end());
+    aggspes::hash_combine(seed,
+                          aggspes::hash_range(c.ys.begin(), c.ys.end()));
+    aggspes::hash_combine(seed, c.id);
+    aggspes::hash_combine(seed, c.part);
+    return seed;
+  }
+};
+}  // namespace std

@@ -1,0 +1,141 @@
+#include "workloads/wiki.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <unordered_map>
+
+namespace aggspes::wiki {
+namespace {
+
+// SplitMix64: tiny, high-quality mixer for stateless per-index randomness.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Cheap per-tuple RNG.
+class Rand {
+ public:
+  explicit Rand(std::uint64_t s) : s_(s) {}
+  std::uint64_t next() { return s_ = splitmix64(s_); }
+  std::uint64_t uniform(std::uint64_t n) { return next() % n; }
+  double real() {
+    return static_cast<double>(next() >> 11) / 9007199254740992.0;
+  }
+
+ private:
+  std::uint64_t s_;
+};
+
+constexpr std::size_t kVocabulary = 1500;
+// Ranks below this are "frequent" words and kept short, so the most
+// frequent word of a sentence is rarely longer than 10 characters — the
+// lever behind LLF/LHF's low selectivities (Table 1).
+constexpr std::size_t kFrequentRanks = 120;
+
+std::string make_word(std::size_t rank) {
+  Rand r(splitmix64(rank * 2654435761ULL + 17));
+  const std::size_t len = rank < kFrequentRanks
+                              ? 3 + r.uniform(5)    // 3-7 chars
+                              : 4 + r.uniform(9);   // 4-12 chars
+  std::string w;
+  w.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    w.push_back(static_cast<char>('a' + r.uniform(26)));
+  }
+  return w;
+}
+
+}  // namespace
+
+WikiGenerator::WikiGenerator(std::uint64_t seed) : seed_(seed) {
+  vocabulary_.reserve(kVocabulary);
+  for (std::size_t rank = 0; rank < kVocabulary; ++rank) {
+    vocabulary_.push_back(make_word(rank));
+  }
+}
+
+WikiEdit WikiGenerator::make(std::uint64_t i) const {
+  Rand r(splitmix64(seed_ ^ (i * 0x9e3779b97f4a7c15ULL)));
+  // Zipf-like rank sampling: log-uniform over [0, V) gives P(rank) ~ 1/rank.
+  auto zipf = [&]() -> std::size_t {
+    const double u = r.real();
+    auto rank = static_cast<std::size_t>(
+        std::exp(u * std::log(static_cast<double>(kVocabulary))) - 1.0);
+    return std::min(rank, kVocabulary - 1);
+  };
+  auto sentence = [&](std::size_t words) {
+    std::string s;
+    s.reserve(words * 7);
+    for (std::size_t w = 0; w < words; ++w) {
+      if (w) s.push_back(' ');
+      s += vocabulary_[zipf()];
+    }
+    return s;
+  };
+  WikiEdit e;
+  e.orig = sentence(5 + r.uniform(30));  // 5-34 words (~30-215 chars)
+  e.change = sentence(1 + r.uniform(6));  // 1-6 words
+  e.updated = e.orig + " " + e.change;
+  return e;
+}
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> words;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find(' ', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) words.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return words;
+}
+
+std::string most_frequent_word(const std::string& text) {
+  auto top = top_k_words(text, 1);
+  return top.empty() ? std::string{} : top.front();
+}
+
+std::vector<std::string> top_k_words(const std::string& text, int k) {
+  const auto words = tokenize(text);
+  std::unordered_map<std::string, int> counts;
+  std::vector<const std::string*> order;  // first-seen order for tie-breaks
+  counts.reserve(words.size() * 2);
+  for (const auto& w : words) {
+    if (++counts[w] == 1) order.push_back(&w);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const std::string* a, const std::string* b) {
+                     return counts[*a] > counts[*b];
+                   });
+  std::vector<std::string> top;
+  const auto n = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                       order.size());
+  top.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) top.push_back(*order[i]);
+  return top;
+}
+
+int word_count(const std::string& text) {
+  if (text.empty()) return 0;
+  int n = 1;
+  for (char c : text) n += (c == ' ');
+  return n;
+}
+
+bool equals_ignore_case(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace aggspes::wiki

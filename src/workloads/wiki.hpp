@@ -1,0 +1,67 @@
+// Synthetic Wikipedia atomic-edit workload.
+//
+// The paper's server-side experiments (Table 1, upper-case IDs) process the
+// WikiAtomicEdits corpus: tuples ⟨τ, orig, change, updated⟩ analysed with
+// word-frequency functions. The corpus is not redistributable here, so this
+// module generates statistically similar edits — Zipf-distributed words,
+// tunable word-length distribution — so that per-tuple CPU cost and the
+// Table 1 selectivities are reproduced (validated by
+// bench_table1_selectivity). See DESIGN.md § 5 for the substitution note.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hashing.hpp"
+
+namespace aggspes::wiki {
+
+/// One atomic edit: the original sentence, the inserted text, and the
+/// resulting sentence.
+struct WikiEdit {
+  std::string orig;
+  std::string change;
+  std::string updated;
+
+  friend bool operator==(const WikiEdit&, const WikiEdit&) = default;
+};
+
+/// Deterministic, seeded generator of WikiEdit tuples.
+class WikiGenerator {
+ public:
+  explicit WikiGenerator(std::uint64_t seed);
+
+  /// Edit for generation index i (stateless in i: reproducible streams).
+  WikiEdit make(std::uint64_t i) const;
+
+ private:
+  std::vector<std::string> vocabulary_;
+  std::uint64_t seed_;
+};
+
+/// Splits on single spaces.
+std::vector<std::string> tokenize(const std::string& text);
+
+/// The most frequent word in `text` (ties: first seen). Empty text -> "".
+std::string most_frequent_word(const std::string& text);
+
+/// The k most frequent words, most frequent first (ties: first seen).
+std::vector<std::string> top_k_words(const std::string& text, int k);
+
+/// Number of words in `text`.
+int word_count(const std::string& text);
+
+/// Case-insensitive string equality.
+bool equals_ignore_case(const std::string& a, const std::string& b);
+
+}  // namespace aggspes::wiki
+
+namespace std {
+template <>
+struct hash<aggspes::wiki::WikiEdit> {
+  size_t operator()(const aggspes::wiki::WikiEdit& e) const {
+    return aggspes::hash_values(e.orig, e.change, e.updated);
+  }
+};
+}  // namespace std

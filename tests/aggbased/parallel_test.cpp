@@ -1,0 +1,116 @@
+// Tests for parallel AggBased deployments (§ 8 future work) and the Union
+// operator (P1): N physical Embed/Unfold compositions behind a key
+// splitter must enforce the same logical FM semantics as one.
+#include "aggbased/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/operators/sink.hpp"
+#include "core/operators/source.hpp"
+#include "core/operators/stateless.hpp"
+#include "core/runtime/threaded_runtime.hpp"
+
+namespace aggspes {
+namespace {
+
+TEST(UnionOp, MergesTuplesAndMinCombinesWatermarks) {
+  Flow flow;
+  auto& s1 = flow.add<ScriptSource<int>>(std::vector<Element<int>>{
+      Tuple<int>{1, 0, 1}, Watermark{10}, Watermark{40}, EndOfStream{}});
+  auto& s2 = flow.add<ScriptSource<int>>(std::vector<Element<int>>{
+      Tuple<int>{2, 0, 2}, Watermark{5}, Watermark{40}, EndOfStream{}});
+  auto& u = flow.add<UnionOp<int>>(2);
+  auto& sink = flow.add<CollectorSink<int>>();
+  flow.connect(s1.out(), u.in(0));
+  flow.connect(s2.out(), u.in(1));
+  flow.connect(u.out(), sink.in());
+  flow.run();
+  EXPECT_EQ(sink.tuples().size(), 2u);
+  // Combined watermark = min over ports: 5, then 40.
+  EXPECT_EQ(sink.watermarks(), (std::vector<Timestamp>{5, 40}));
+  EXPECT_TRUE(sink.ended());
+  EXPECT_EQ(sink.watermark_regressions(), 0);
+}
+
+std::vector<Tuple<int>> random_ints(unsigned seed, int n) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<Timestamp> gap(0, 2);
+  std::uniform_int_distribution<int> val(0, 40);
+  std::vector<Tuple<int>> v;
+  Timestamp ts = 0;
+  for (int i = 0; i < n; ++i) {
+    ts += gap(rng);
+    v.push_back({ts, 0, val(rng)});
+  }
+  return v;
+}
+
+FlatMapFn<int, int> test_fm() {
+  return [](const int& v) {
+    std::vector<int> out;
+    for (int i = 0; i < v % 3; ++i) out.push_back(v * 10 + i);
+    return out;
+  };
+}
+
+class ParallelismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelismSweep, MatchesDedicatedForAnyInstanceCount) {
+  const int parallelism = GetParam();
+  auto in = random_ints(13, 250);
+  const Timestamp flush = in.back().ts + 30;
+
+  Flow ded;
+  auto& d_src = ded.add<TimedSource<int>>(in, 6, flush);
+  auto& d_op = ded.add<FlatMapOp<int, int>>(test_fm());
+  auto& d_sink = ded.add<CollectorSink<int>>();
+  ded.connect(d_src.out(), d_op.in());
+  ded.connect(d_op.out(), d_sink.in());
+  ded.run();
+
+  Flow par;
+  auto& p_src = par.add<TimedSource<int>>(in, 6, flush);
+  ParallelAggBasedFlatMap<int, int> p_op(par, test_fm(), 6, parallelism);
+  auto& p_sink = par.add<CollectorSink<int>>();
+  par.connect(p_src.out(), p_op.in());
+  par.connect(p_op.out(), p_sink.in());
+  par.run();
+
+  EXPECT_EQ(p_sink.multiset(), d_sink.multiset());
+  EXPECT_EQ(p_sink.late_tuples(), 0);
+  EXPECT_EQ(p_sink.watermark_regressions(), 0);
+  EXPECT_TRUE(p_sink.ended());
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, ParallelismSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(ParallelAggBased, RunsOnThreadedRuntime) {
+  auto in = random_ints(17, 200);
+  const Timestamp flush = in.back().ts + 30;
+
+  Flow ref;
+  auto& r_src = ref.add<TimedSource<int>>(in, 6, flush);
+  auto& r_op = ref.add<FlatMapOp<int, int>>(test_fm());
+  auto& r_sink = ref.add<CollectorSink<int>>();
+  ref.connect(r_src.out(), r_op.in());
+  ref.connect(r_op.out(), r_sink.in());
+  ref.run();
+
+  ThreadedFlow tf;
+  auto& t_src = tf.add<TimedSource<int>>(in, 6, flush);
+  ParallelAggBasedFlatMap<int, int> t_op(tf, test_fm(), 6, 2);
+  auto& t_sink = tf.add<CollectorSink<int>>();
+  tf.connect(t_src, t_src.out(), t_op.in_node(), t_op.in());
+  tf.connect(t_op.out_node(), t_op.out(), t_sink, t_sink.in());
+  tf.run();
+
+  EXPECT_EQ(t_sink.multiset(), r_sink.multiset());
+  EXPECT_TRUE(t_sink.ended());
+}
+
+}  // namespace
+}  // namespace aggspes

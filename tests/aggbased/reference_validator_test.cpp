@@ -1,0 +1,93 @@
+// Tests for the reference-SPE validation harness (the paper's § 1/§ 6
+// motivating use: validate dedicated operator implementations against the
+// Aggregate-only reference).
+#include "aggbased/reference_validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace aggspes {
+namespace {
+
+std::vector<Tuple<int>> sample_input() {
+  std::vector<Tuple<int>> in;
+  for (Timestamp ts = 0; ts < 40; ts += 2) in.push_back({ts, 0, int(ts % 9)});
+  return in;
+}
+
+auto int_fmt = [](const int& v) { return std::to_string(v); };
+
+TEST(ReferenceValidator, CorrectFlatMapPasses) {
+  auto rep = validate_flatmap<int, int>(
+      [](const int& v) {
+        return v % 2 ? std::vector<int>{v, v + 1} : std::vector<int>{};
+      },
+      sample_input(), /*watermark_period=*/5, int_fmt);
+  EXPECT_TRUE(rep.match);
+  EXPECT_TRUE(static_cast<bool>(rep));
+  EXPECT_EQ(rep.dedicated_outputs, rep.reference_outputs);
+  EXPECT_TRUE(rep.divergence.empty());
+}
+
+// A "dedicated implementation" with an injected bug: we simulate it by
+// validating one function against a reference built from a different one —
+// exactly what the harness is for (catching semantics drift).
+TEST(ReferenceValidator, DivergenceIsDetectedAndDescribed) {
+  // Build the comparison by hand: dedicated drops v == 4 (the bug).
+  std::vector<Tuple<int>> input = sample_input();
+  Timestamp max_ts = input.back().ts;
+  const Timestamp flush = max_ts + 20;
+
+  Flow ded;
+  auto& d_src = ded.add<TimedSource<int>>(input, 5, flush);
+  auto& d_op = ded.add<FlatMapOp<int, int>>([](const int& v) {
+    return v == 4 ? std::vector<int>{} : std::vector<int>{v};  // bug
+  });
+  auto& d_sink = ded.add<CollectorSink<int>>();
+  ded.connect(d_src.out(), d_op.in());
+  ded.connect(d_op.out(), d_sink.in());
+  ded.run();
+
+  Flow ref;
+  auto& r_src = ref.add<TimedSource<int>>(input, 5, flush);
+  AggBasedFlatMap<int, int> r_op(
+      ref, [](const int& v) { return std::vector<int>{v}; }, 5);
+  auto& r_sink = ref.add<CollectorSink<int>>();
+  ref.connect(r_src.out(), r_op.in());
+  ref.connect(r_op.out(), r_sink.in());
+  ref.run();
+
+  auto rep = detail::compare<int>(d_sink.multiset(), r_sink.multiset(),
+                                  int_fmt);
+  EXPECT_FALSE(rep.match);
+  EXPECT_LT(rep.dedicated_outputs, rep.reference_outputs);
+  EXPECT_NE(rep.divergence.find("reference has"), std::string::npos);
+  EXPECT_NE(rep.divergence.find("4"), std::string::npos);
+}
+
+TEST(ReferenceValidator, CorrectJoinPasses) {
+  std::vector<Tuple<int>> lefts, rights;
+  for (Timestamp ts = 0; ts < 30; ts += 3) lefts.push_back({ts, 0, int(ts)});
+  for (Timestamp ts = 1; ts < 30; ts += 4) rights.push_back({ts, 0, int(ts)});
+  auto rep = validate_join<int, int, int>(
+      WindowSpec{.advance = 5, .size = 10},
+      [](const int& v) { return v % 3; }, [](const int& v) { return v % 3; },
+      [](const int& a, const int& b) { return a < b; }, lefts, rights,
+      /*watermark_period=*/5, [](const std::pair<int, int>& p) {
+        return std::to_string(p.first) + "," + std::to_string(p.second);
+      });
+  EXPECT_TRUE(rep.match) << rep.divergence;
+  EXPECT_GT(rep.dedicated_outputs, 0u);
+}
+
+TEST(ReferenceValidator, EmptyInputTriviallyPasses) {
+  auto rep = validate_flatmap<int, int>(
+      [](const int& v) { return std::vector<int>{v}; }, {}, 5, int_fmt);
+  EXPECT_TRUE(rep.match);
+  EXPECT_EQ(rep.dedicated_outputs, 0u);
+}
+
+}  // namespace
+}  // namespace aggspes

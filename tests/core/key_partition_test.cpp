@@ -1,0 +1,139 @@
+// Tests for shared-nothing key-by parallelism (§ 2.2): a logical stateful
+// operator deployed as N physical instances must produce exactly the same
+// results as one instance, because tuples sharing a key always meet in the
+// same instance and watermarks are broadcast.
+#include "core/operators/key_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/hashing.hpp"
+#include "core/operators/aggregate.hpp"
+#include "core/operators/sink.hpp"
+#include "core/operators/source.hpp"
+
+namespace aggspes {
+namespace {
+
+struct Reading {
+  int sensor;
+  int value;
+  friend bool operator==(const Reading&, const Reading&) = default;
+};
+
+using SumAgg = AggregateOp<Reading, std::pair<int, int>, int>;
+
+std::vector<Tuple<Reading>> make_input() {
+  std::vector<Tuple<Reading>> in;
+  for (Timestamp ts = 0; ts < 100; ++ts) {
+    in.push_back({ts, 0, {static_cast<int>(ts) % 7, static_cast<int>(ts)}});
+  }
+  return in;
+}
+
+/// Runs a logical "sum per sensor over tumbling 20-tick windows" operator
+/// with `instances` physical copies and returns the merged output multiset.
+std::multiset<std::pair<Timestamp, std::pair<int, int>>> run_partitioned(
+    int instances) {
+  Flow flow;
+  auto& src = flow.add<TimedSource<Reading>>(make_input(), 10, 140);
+  auto& split = flow.add<KeySplitter<Reading, int>>(
+      instances, [](const Reading& r) { return r.sensor; });
+  flow.connect(src.out(), split.in());
+  auto& sink = flow.add<CollectorSink<std::pair<int, int>>>();
+  for (int i = 0; i < instances; ++i) {
+    auto& agg = flow.add<SumAgg>(
+        WindowSpec{.advance = 20, .size = 20},
+        [](const Reading& r) { return r.sensor; },
+        [](const WindowView<Reading, int>& w)
+            -> std::optional<std::pair<int, int>> {
+          int sum = 0;
+          for (const auto& t : w.items) sum += t.value.value;
+          return std::make_pair(w.key, sum);
+        });
+    flow.connect(split.out(i), agg.in());
+    flow.connect(agg.out(), sink.in());
+  }
+  flow.run();
+  std::multiset<std::pair<Timestamp, std::pair<int, int>>> out;
+  for (const auto& t : sink.tuples()) out.emplace(t.ts, t.value);
+  return out;
+}
+
+TEST(KeySplitter, AllParallelismsProduceIdenticalResults) {
+  auto reference = run_partitioned(1);
+  EXPECT_FALSE(reference.empty());
+  for (int p : {2, 3, 4}) {
+    EXPECT_EQ(run_partitioned(p), reference) << "instances=" << p;
+  }
+}
+
+TEST(KeySplitter, SameKeyAlwaysSameInstance) {
+  Flow flow;
+  auto& src = flow.add<TimedSource<Reading>>(make_input(), 10, 140);
+  auto& split = flow.add<KeySplitter<Reading, int>>(
+      3, [](const Reading& r) { return r.sensor; });
+  flow.connect(src.out(), split.in());
+  std::vector<CollectorSink<Reading>*> sinks;
+  for (int i = 0; i < 3; ++i) {
+    auto& s = flow.add<CollectorSink<Reading>>();
+    flow.connect(split.out(i), s.in());
+    sinks.push_back(&s);
+  }
+  flow.run();
+  // Each sensor key appears in exactly one partition.
+  std::set<int> seen;
+  for (auto* s : sinks) {
+    std::set<int> keys;
+    for (const auto& t : s->tuples()) keys.insert(t.value.sensor);
+    for (int k : keys) {
+      EXPECT_TRUE(seen.insert(k).second) << "key " << k << " split";
+    }
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(KeySplitter, WatermarksBroadcastToAllInstances) {
+  Flow flow;
+  auto& src = flow.add<TimedSource<Reading>>(make_input(), 10, 140);
+  auto& split = flow.add<KeySplitter<Reading, int>>(
+      3, [](const Reading& r) { return r.sensor; });
+  flow.connect(src.out(), split.in());
+  std::vector<CollectorSink<Reading>*> sinks;
+  for (int i = 0; i < 3; ++i) {
+    auto& s = flow.add<CollectorSink<Reading>>();
+    flow.connect(split.out(i), s.in());
+    sinks.push_back(&s);
+  }
+  flow.run();
+  for (auto* s : sinks) {
+    EXPECT_EQ(s->watermarks(), sinks[0]->watermarks());
+    EXPECT_TRUE(s->ended());
+    EXPECT_EQ(s->late_tuples(), 0);
+  }
+}
+
+TEST(RoundRobinSplitter, DistributesEvenlyAndBroadcastsControl) {
+  Flow flow;
+  auto& src = flow.add<TimedSource<Reading>>(make_input(), 10, 140);
+  auto& split = flow.add<RoundRobinSplitter<Reading>>(4);
+  flow.connect(src.out(), split.in());
+  std::vector<CollectorSink<Reading>*> sinks;
+  for (int i = 0; i < 4; ++i) {
+    auto& s = flow.add<CollectorSink<Reading>>();
+    flow.connect(split.out(i), s.in());
+    sinks.push_back(&s);
+  }
+  flow.run();
+  std::size_t total = 0;
+  for (auto* s : sinks) {
+    EXPECT_EQ(s->tuples().size(), 25u);  // 100 / 4, exact round robin
+    EXPECT_TRUE(s->ended());
+    total += s->tuples().size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+}  // namespace
+}  // namespace aggspes

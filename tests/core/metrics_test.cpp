@@ -1,0 +1,100 @@
+// Unit tests for the metrics/latency machinery and the report formatting.
+#include "core/runtime/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/report.hpp"
+#include "harness/sustainable.hpp"
+
+namespace aggspes {
+namespace {
+
+TEST(LatencyRecorder, SummarizesQuantiles) {
+  LatencyRecorder rec;
+  // 100 samples: 1ms .. 100ms.
+  for (int i = 1; i <= 100; ++i) {
+    rec.record(static_cast<std::uint64_t>(i) * 1'000'000ull);
+  }
+  auto s = rec.summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.p50_ms, 50.0, 1.5);
+  EXPECT_NEAR(s.p99_ms, 99.0, 1.5);
+  EXPECT_DOUBLE_EQ(s.max_ms, 100.0);
+  EXPECT_NEAR(s.mean_ms, 50.5, 0.01);
+}
+
+TEST(LatencyRecorder, EmptySummary) {
+  LatencyRecorder rec;
+  auto s = rec.summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p99_ms, 0.0);
+}
+
+TEST(LatencyRecorder, SingleSample) {
+  LatencyRecorder rec;
+  rec.record(2'000'000);
+  auto s = rec.summarize();
+  EXPECT_DOUBLE_EQ(s.p50_ms, 2.0);
+  EXPECT_DOUBLE_EQ(s.p99_ms, 2.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 2.0);
+}
+
+TEST(ReportFormat, Rates) {
+  using harness::fmt_rate;
+  EXPECT_EQ(fmt_rate(950), "950");
+  EXPECT_EQ(fmt_rate(12'345), "12.3k");
+  EXPECT_EQ(fmt_rate(2'500'000), "2.50M");
+}
+
+TEST(ReportFormat, Milliseconds) {
+  using harness::fmt_ms;
+  EXPECT_EQ(fmt_ms(0.5), "0.500ms");
+  EXPECT_EQ(fmt_ms(12.34), "12.3ms");
+  EXPECT_EQ(fmt_ms(2500), "2.50s");
+}
+
+TEST(ReportFormat, Selectivity) {
+  using harness::fmt_selectivity;
+  EXPECT_EQ(fmt_selectivity(0), "0");
+  EXPECT_EQ(fmt_selectivity(1.0), "1.00");
+  EXPECT_EQ(fmt_selectivity(0.0005), "5.0e-04");
+}
+
+TEST(SustainableSearch, PicksHighestSuccessfulRate) {
+  using namespace harness;
+  // Synthetic runner: latency explodes past 1000 t/s.
+  RateRunner runner = [](double rate) {
+    RunResult r;
+    r.offered_per_s = rate;
+    r.achieved_per_s = rate <= 1000 ? rate : 1000;
+    r.latency.count = 10;
+    r.latency.p99_ms = rate <= 1000 ? 50 : 5000;
+    return r;
+  };
+  auto s = find_max_sustainable(runner, {250, 500, 1000, 2000, 4000, 8000},
+                                /*p99_bound_ms=*/500);
+  EXPECT_DOUBLE_EQ(s.max_sustainable, 1000);
+  // Two consecutive failures stop the ladder early: 2000 and 4000 fail,
+  // 8000 is never probed.
+  EXPECT_EQ(s.ladder.size(), 5u);
+  EXPECT_TRUE(s.ladder[2].success);
+  EXPECT_FALSE(s.ladder[3].success);
+}
+
+TEST(SustainableSearch, SlowSourceCountsAsFailure) {
+  using namespace harness;
+  // Latency fine but the source cannot keep its schedule: not sustainable.
+  RateRunner runner = [](double rate) {
+    RunResult r;
+    r.offered_per_s = rate;
+    r.achieved_per_s = rate * 0.5;
+    r.latency.count = 10;
+    r.latency.p99_ms = 1;
+    return r;
+  };
+  auto s = find_max_sustainable(runner, {100, 200, 400}, 500);
+  EXPECT_DOUBLE_EQ(s.max_sustainable, 0);
+}
+
+}  // namespace
+}  // namespace aggspes

@@ -1,0 +1,122 @@
+// Unit tests for the Dedicated stateless operators (§ 2.1): Filter, Map,
+// FlatMap — semantics, timestamp preservation, watermark pass-through.
+#include "core/operators/stateless.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/operators/sink.hpp"
+#include "core/operators/source.hpp"
+
+namespace aggspes {
+namespace {
+
+std::vector<Element<int>> script(std::vector<Tuple<int>> tuples) {
+  std::vector<Element<int>> s;
+  for (auto& t : tuples) s.push_back(std::move(t));
+  s.push_back(Watermark{100});
+  s.push_back(EndOfStream{});
+  return s;
+}
+
+TEST(Filter, ForwardsExactTupleWhenPredicateHolds) {
+  Flow flow;
+  auto& src = flow.add<ScriptSource<int>>(
+      script({{1, 77, 10}, {2, 88, 11}}));
+  auto& f = flow.add<FilterOp<int>>([](int v) { return v == 10; });
+  auto& sink = flow.add<CollectorSink<int>>();
+  flow.connect(src.out(), f.in());
+  flow.connect(f.out(), sink.in());
+  flow.run();
+  ASSERT_EQ(sink.tuples().size(), 1u);
+  // t_i = t_o: value, timestamp AND latency stamp all preserved.
+  EXPECT_EQ(sink.tuples()[0], (Tuple<int>{1, 77, 10}));
+}
+
+TEST(Filter, ForwardsWatermarksUnchanged) {
+  Flow flow;
+  auto& src = flow.add<ScriptSource<int>>(script({}));
+  auto& f = flow.add<FilterOp<int>>([](int) { return false; });
+  auto& sink = flow.add<CollectorSink<int>>();
+  flow.connect(src.out(), f.in());
+  flow.connect(f.out(), sink.in());
+  flow.run();
+  EXPECT_EQ(sink.watermarks(), (std::vector<Timestamp>{100}));
+  EXPECT_TRUE(sink.ended());
+}
+
+TEST(Map, AppliesFunctionKeepsTimestampAndStamp) {
+  Flow flow;
+  auto& src = flow.add<ScriptSource<int>>(script({{5, 99, 3}}));
+  auto& m = flow.add<MapOp<int, std::string>>(
+      [](const int& v) { return std::string(static_cast<std::size_t>(v),
+                                            'x'); });
+  auto& sink = flow.add<CollectorSink<std::string>>();
+  flow.connect(src.out(), m.in());
+  flow.connect(m.out(), sink.in());
+  flow.run();
+  ASSERT_EQ(sink.tuples().size(), 1u);
+  EXPECT_EQ(sink.tuples()[0].value, "xxx");
+  EXPECT_EQ(sink.tuples()[0].ts, 5);
+  EXPECT_EQ(sink.tuples()[0].stamp, 99u);
+}
+
+TEST(FlatMap, ZeroOneManyOutputs) {
+  Flow flow;
+  auto& src = flow.add<ScriptSource<int>>(
+      script({{0, 0, 0}, {1, 0, 1}, {2, 0, 3}}));
+  auto& fm = flow.add<FlatMapOp<int, int>>([](const int& v) {
+    std::vector<int> out;
+    for (int i = 0; i < v; ++i) out.push_back(v * 10 + i);
+    return out;
+  });
+  auto& sink = flow.add<CollectorSink<int>>();
+  flow.connect(src.out(), fm.in());
+  flow.connect(fm.out(), sink.in());
+  flow.run();
+  ASSERT_EQ(sink.tuples().size(), 4u);  // 0 + 1 + 3
+  EXPECT_EQ(sink.tuples()[0].value, 10);
+  EXPECT_EQ(sink.tuples()[0].ts, 1);
+  EXPECT_EQ(sink.tuples()[1].value, 30);
+  EXPECT_EQ(sink.tuples()[3].value, 32);
+  for (const auto& t : sink.tuples()) EXPECT_EQ(t.ts, t.value / 10);
+}
+
+TEST(FlatMap, OutputOrderFollowsFunctionOrder) {
+  Flow flow;
+  auto& src = flow.add<ScriptSource<int>>(script({{0, 0, 1}}));
+  auto& fm = flow.add<FlatMapOp<int, int>>(
+      [](const int&) { return std::vector<int>{3, 1, 2}; });
+  auto& sink = flow.add<CollectorSink<int>>();
+  flow.connect(src.out(), fm.in());
+  flow.connect(fm.out(), sink.in());
+  flow.run();
+  ASSERT_EQ(sink.tuples().size(), 3u);
+  EXPECT_EQ(sink.tuples()[0].value, 3);
+  EXPECT_EQ(sink.tuples()[1].value, 1);
+  EXPECT_EQ(sink.tuples()[2].value, 2);
+}
+
+TEST(StatelessChain, FilterMapFlatMapComposition) {
+  Flow flow;
+  std::vector<Tuple<int>> in;
+  for (Timestamp ts = 0; ts < 10; ++ts) in.push_back({ts, 0, int(ts)});
+  auto& src = flow.add<ScriptSource<int>>(script(in));
+  auto& f = flow.add<FilterOp<int>>([](int v) { return v % 2 == 0; });
+  auto& m = flow.add<MapOp<int, int>>([](const int& v) { return v / 2; });
+  auto& fm = flow.add<FlatMapOp<int, int>>(
+      [](const int& v) { return std::vector<int>{v, -v}; });
+  auto& sink = flow.add<CollectorSink<int>>();
+  flow.connect(src.out(), f.in());
+  flow.connect(f.out(), m.in());
+  flow.connect(m.out(), fm.in());
+  flow.connect(fm.out(), sink.in());
+  flow.run();
+  EXPECT_EQ(sink.tuples().size(), 10u);  // 5 evens * 2 outputs
+  EXPECT_TRUE(sink.ended());
+}
+
+}  // namespace
+}  // namespace aggspes

@@ -1,0 +1,64 @@
+// Unit tests for watermark combining (§ 2.3, Definition 3).
+#include "core/watermark.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aggspes {
+namespace {
+
+TEST(WatermarkCombiner, SinglePortTracksLatest) {
+  WatermarkCombiner c(1);
+  EXPECT_EQ(c.current(), kMinTimestamp);
+  EXPECT_TRUE(c.advance(0, 5));
+  EXPECT_EQ(c.current(), 5);
+  EXPECT_TRUE(c.advance(0, 9));
+  EXPECT_EQ(c.current(), 9);
+}
+
+TEST(WatermarkCombiner, StaleWatermarksIgnored) {
+  WatermarkCombiner c(1);
+  EXPECT_TRUE(c.advance(0, 5));
+  EXPECT_FALSE(c.advance(0, 5));
+  EXPECT_FALSE(c.advance(0, 3));
+  EXPECT_EQ(c.current(), 5);
+}
+
+TEST(WatermarkCombiner, CombinedIsMinimumAcrossPorts) {
+  // § 2.3: W is the smallest among the latest watermark of each input.
+  WatermarkCombiner c(2);
+  EXPECT_FALSE(c.advance(0, 10));  // port 1 still at -inf
+  EXPECT_EQ(c.current(), kMinTimestamp);
+  EXPECT_TRUE(c.advance(1, 4));
+  EXPECT_EQ(c.current(), 4);
+  EXPECT_FALSE(c.advance(0, 12));  // min still governed by port 1
+  EXPECT_TRUE(c.advance(1, 7));
+  EXPECT_EQ(c.current(), 7);
+  EXPECT_TRUE(c.advance(1, 20));  // now port 0 (12) is the minimum
+  EXPECT_EQ(c.current(), 12);
+}
+
+TEST(WatermarkCombiner, AdvanceReturnsTrueOnlyOnStrictIncrease) {
+  WatermarkCombiner c(3);
+  c.advance(0, 5);
+  c.advance(1, 5);
+  EXPECT_FALSE(c.current() > kMinTimestamp);
+  EXPECT_TRUE(c.advance(2, 5));
+  EXPECT_EQ(c.current(), 5);
+  EXPECT_FALSE(c.advance(2, 6));  // min still 5
+}
+
+TEST(WatermarkCombiner, PortWatermarkAccessors) {
+  WatermarkCombiner c(2);
+  c.advance(0, 8);
+  EXPECT_EQ(c.port_watermark(0), 8);
+  EXPECT_EQ(c.port_watermark(1), kMinTimestamp);
+  EXPECT_EQ(c.ports(), 2);
+}
+
+TEST(WatermarkCombiner, ZeroPortCombinerNeverAdvances) {
+  WatermarkCombiner c(0);
+  EXPECT_EQ(c.current(), kMinTimestamp);
+}
+
+}  // namespace
+}  // namespace aggspes

@@ -1,0 +1,133 @@
+// Unit tests for window-instance math (§ 2.1 of the paper).
+#include "core/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace aggspes {
+namespace {
+
+TEST(FloorDiv, MatchesMathematicalFloor) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(-8, 2), -4);
+  EXPECT_EQ(floor_div(0, 5), 0);
+  EXPECT_EQ(floor_div(-1, 5), -1);
+  EXPECT_EQ(floor_div(4, 5), 0);
+  EXPECT_EQ(floor_div(5, 5), 1);
+}
+
+TEST(WindowSpec, TumblingAssignsExactlyOneInstance) {
+  WindowSpec spec{.advance = 10, .size = 10};
+  EXPECT_TRUE(spec.tumbling());
+  for (Timestamp ts : {0, 1, 9, 10, 19, 20, 137}) {
+    auto ls = spec.instances(ts);
+    ASSERT_EQ(ls.size(), 1u) << "ts=" << ts;
+    EXPECT_EQ(ls[0], (ts / 10) * 10);
+  }
+}
+
+TEST(WindowSpec, DeltaTumblingInstanceEqualsTimestamp) {
+  // Lemma 1: with WA = WS = δ, γ.l = t.τ and outputs share the input's τ.
+  WindowSpec spec{.advance = kDelta, .size = kDelta};
+  for (Timestamp ts : {Timestamp{0}, Timestamp{1}, Timestamp{12345},
+                       Timestamp{-3}}) {
+    auto ls = spec.instances(ts);
+    ASSERT_EQ(ls.size(), 1u);
+    EXPECT_EQ(ls[0], ts);
+    EXPECT_EQ(spec.output_ts(ls[0]), ts);
+  }
+}
+
+TEST(WindowSpec, SlidingOverlapCount) {
+  // WS = 3·WA: aligned timestamps fall in exactly WS/WA = 3 instances.
+  WindowSpec spec{.advance = 5, .size = 15};
+  auto ls = spec.instances(42);
+  ASSERT_EQ(ls.size(), 3u);
+  EXPECT_EQ(ls[0], 30);
+  EXPECT_EQ(ls[1], 35);
+  EXPECT_EQ(ls[2], 40);
+}
+
+TEST(WindowSpec, InstanceBoundsContainTimestamp) {
+  WindowSpec spec{.advance = 3, .size = 7};
+  for (Timestamp ts = -25; ts <= 25; ++ts) {
+    for (Timestamp l : spec.instances(ts)) {
+      EXPECT_LE(l, ts) << "ts=" << ts;
+      EXPECT_LT(ts, spec.end(l)) << "ts=" << ts;
+    }
+  }
+}
+
+TEST(WindowSpec, EveryContainingInstanceIsEnumerated) {
+  // Cross-check instances() against a brute-force scan of boundaries.
+  WindowSpec spec{.advance = 4, .size = 10};
+  for (Timestamp ts = -30; ts <= 30; ++ts) {
+    auto ls = spec.instances(ts);
+    std::vector<Timestamp> expected;
+    for (Timestamp l = -48; l <= 48; l += spec.advance) {
+      if (l <= ts && ts < spec.end(l)) expected.push_back(l);
+    }
+    EXPECT_EQ(ls, expected) << "ts=" << ts;
+  }
+}
+
+TEST(WindowSpec, OutputTimestampIsRightBoundaryMinusDelta) {
+  WindowSpec spec{.advance = 2, .size = 6};
+  EXPECT_EQ(spec.output_ts(10), 15);
+  // Observation 1: t_o.τ >= t_i.τ for every t_i in the instance.
+  for (Timestamp ts = 10; ts < 16; ++ts) {
+    EXPECT_GE(spec.output_ts(10), ts);
+  }
+}
+
+TEST(WindowSpec, ClosesAndPurgeableRespectLateness) {
+  WindowSpec spec{.advance = 5, .size = 5, .lateness = 3};
+  // Instance [10, 15).
+  EXPECT_FALSE(spec.closes(10, 14));
+  EXPECT_TRUE(spec.closes(10, 15));
+  EXPECT_FALSE(spec.purgeable(10, 17));
+  EXPECT_TRUE(spec.purgeable(10, 18));
+  EXPECT_TRUE(spec.admits(10, 17));
+  EXPECT_FALSE(spec.admits(10, 18));
+}
+
+TEST(WindowSpec, ZeroLatenessPurgesAtClose) {
+  WindowSpec spec{.advance = 5, .size = 5};
+  EXPECT_EQ(spec.closes(10, 15), spec.purgeable(10, 15));
+  EXPECT_FALSE(spec.admits(10, 15));
+}
+
+// Parameterized sweep: the two instance-boundary formulas agree with the
+// direct containment definition for many (WA, WS) shapes.
+class WindowSweep
+    : public ::testing::TestWithParam<std::tuple<Timestamp, Timestamp>> {};
+
+TEST_P(WindowSweep, FirstAndLastInstanceAreTight) {
+  auto [wa, ws] = GetParam();
+  WindowSpec spec{.advance = wa, .size = ws};
+  for (Timestamp ts = -40; ts <= 40; ++ts) {
+    const Timestamp first = spec.first_instance(ts);
+    const Timestamp last = spec.last_instance(ts);
+    // Both contain ts...
+    EXPECT_LE(first, ts);
+    EXPECT_LT(ts, spec.end(first));
+    EXPECT_LE(last, ts);
+    EXPECT_LT(ts, spec.end(last));
+    // ...and are extremal: one step further no longer contains ts.
+    EXPECT_GE(ts, spec.end(first - wa));
+    EXPECT_LT(ts, last + wa);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WindowSweep,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(1, 5),
+                      std::make_tuple(2, 6), std::make_tuple(3, 7),
+                      std::make_tuple(5, 5), std::make_tuple(4, 10),
+                      std::make_tuple(7, 21), std::make_tuple(10, 13)));
+
+}  // namespace
+}  // namespace aggspes

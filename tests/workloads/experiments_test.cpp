@@ -1,0 +1,101 @@
+// Tests for the Table 1 experiment registry.
+#include "harness/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace aggspes::harness {
+namespace {
+
+TEST(Registry, HasAll24Experiments) {
+  EXPECT_EQ(all_experiments().size(), 24u);
+  EXPECT_EQ(fm_experiments().size(), 12u);
+  EXPECT_EQ(join_experiments().size(), 12u);
+}
+
+TEST(Registry, IdsMatchTable1) {
+  std::set<std::string> ids;
+  for (const auto& e : all_experiments()) ids.insert(e.id);
+  const std::set<std::string> expected{
+      "LLF", "ALF", "HLF", "LHF", "AHF", "HHF", "llf", "alf", "hlf",
+      "lhf", "ahf", "hhf", "LLJ", "ALJ", "HLJ", "LHJ", "AHJ", "HHJ",
+      "llj", "alj", "hlj", "lhj", "ahj", "hhj"};
+  EXPECT_EQ(ids, expected);
+}
+
+TEST(Registry, LookupByIdWorks) {
+  const Experiment& e = experiment("AHF");
+  EXPECT_FALSE(e.join);
+  EXPECT_FALSE(e.edge);
+  EXPECT_EQ(e.cost_class, "High");
+  EXPECT_THROW(experiment("ZZZ"), std::out_of_range);
+}
+
+TEST(Registry, CaseConventionEncodesHardware) {
+  for (const auto& e : all_experiments()) {
+    const bool lower = std::islower(static_cast<unsigned char>(e.id[0]));
+    EXPECT_EQ(e.edge, lower) << e.id;
+  }
+}
+
+TEST(Registry, EveryExperimentHasRunnerAndLadder) {
+  for (const auto& e : all_experiments()) {
+    EXPECT_TRUE(static_cast<bool>(e.run)) << e.id;
+    EXPECT_TRUE(static_cast<bool>(e.measure_selectivity)) << e.id;
+    EXPECT_FALSE(e.rate_ladder.empty()) << e.id;
+    // Ladders ascend.
+    for (std::size_t i = 1; i < e.rate_ladder.size(); ++i) {
+      EXPECT_LT(e.rate_ladder[i - 1], e.rate_ladder[i]) << e.id;
+    }
+  }
+}
+
+TEST(Registry, MeasuredFmSelectivityTracksClass) {
+  // The synthetic workloads must reproduce Table 1's selectivity ordering:
+  // Low < Avg <= High within each (family, cost) group.
+  auto sel = [](const char* id) {
+    return experiment(id).measure_selectivity(400);
+  };
+  EXPECT_LT(sel("LLF"), sel("ALF"));
+  EXPECT_LT(sel("ALF"), sel("HLF"));
+  EXPECT_LT(sel("LHF"), sel("AHF"));
+  EXPECT_LE(sel("AHF"), sel("HHF"));
+  EXPECT_LT(sel("llf"), sel("alf"));
+  EXPECT_LT(sel("alf"), sel("hlf"));
+  EXPECT_LT(sel("lhf"), sel("ahf"));
+  EXPECT_LE(sel("ahf"), sel("hhf"));
+  // Avg rows are exactly selectivity 1 by construction.
+  EXPECT_DOUBLE_EQ(sel("ALF"), 1.0);
+  EXPECT_DOUBLE_EQ(sel("alf"), 1.0);
+  EXPECT_DOUBLE_EQ(sel("AHF"), 1.0);
+  EXPECT_DOUBLE_EQ(sel("ahf"), 1.0);
+}
+
+TEST(Registry, MeasuredJoinSelectivityTracksThreshold) {
+  auto sel = [](const char* id) {
+    return experiment(id).measure_selectivity(400);
+  };
+  // Looser predicates match more often.
+  EXPECT_LE(sel("LLJ"), sel("ALJ"));
+  EXPECT_LE(sel("ALJ"), sel("HLJ"));
+  EXPECT_LE(sel("llj"), sel("alj"));
+  EXPECT_LE(sel("alj"), sel("hlj"));
+}
+
+TEST(Registry, SmokeRunEachKindCompletes) {
+  // One tiny end-to-end run per (kind, family) with the dedicated
+  // implementation — validates the full harness plumbing.
+  RunConfig cfg;
+  cfg.rate = 500;
+  cfg.duration_s = 0.12;
+  cfg.warmup_s = 0.02;
+  cfg.cooldown_s = 0.02;
+  for (const char* id : {"ALF", "alf", "LLJ", "llj"}) {
+    RunResult r = experiment(id).run(Impl::kDedicated, cfg);
+    EXPECT_GT(r.achieved_per_s, 0) << id;
+  }
+}
+
+}  // namespace
+}  // namespace aggspes::harness

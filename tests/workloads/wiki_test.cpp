@@ -1,0 +1,97 @@
+// Tests for the synthetic Wikipedia-edit workload.
+#include "workloads/wiki.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace aggspes::wiki {
+namespace {
+
+TEST(Tokenize, SplitsOnSpaces) {
+  auto w = tokenize("alpha beta gamma");
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0], "alpha");
+  EXPECT_EQ(w[2], "gamma");
+}
+
+TEST(Tokenize, EmptyAndSingle) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_EQ(tokenize("word").size(), 1u);
+}
+
+TEST(MostFrequentWord, PicksTheMode) {
+  EXPECT_EQ(most_frequent_word("a b a c a b"), "a");
+}
+
+TEST(MostFrequentWord, TieBreaksFirstSeen) {
+  EXPECT_EQ(most_frequent_word("x y x y z"), "x");
+}
+
+TEST(MostFrequentWord, EmptyText) {
+  EXPECT_EQ(most_frequent_word(""), "");
+}
+
+TEST(TopKWords, OrderedByFrequencyThenFirstSeen) {
+  auto top = top_k_words("b a a c b a", 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], "a");  // 3 occurrences
+  EXPECT_EQ(top[1], "b");  // 2, seen before c
+  EXPECT_EQ(top[2], "c");
+}
+
+TEST(TopKWords, FewerDistinctThanK) {
+  auto top = top_k_words("a a a", 3);
+  EXPECT_EQ(top.size(), 1u);
+}
+
+TEST(WordCount, CountsWords) {
+  EXPECT_EQ(word_count(""), 0);
+  EXPECT_EQ(word_count("one"), 1);
+  EXPECT_EQ(word_count("one two three"), 3);
+}
+
+TEST(EqualsIgnoreCase, Works) {
+  EXPECT_TRUE(equals_ignore_case("AbC", "abc"));
+  EXPECT_FALSE(equals_ignore_case("abc", "abd"));
+  EXPECT_FALSE(equals_ignore_case("abc", "abcd"));
+}
+
+TEST(WikiGenerator, DeterministicPerSeedAndIndex) {
+  WikiGenerator g1(7), g2(7), g3(8);
+  EXPECT_EQ(g1.make(5), g2.make(5));
+  EXPECT_NE(g1.make(5), g3.make(5));
+  EXPECT_NE(g1.make(5), g1.make(6));
+}
+
+TEST(WikiGenerator, ShapeIsPlausible) {
+  WikiGenerator g(1);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    WikiEdit e = g.make(i);
+    const int orig_words = word_count(e.orig);
+    EXPECT_GE(orig_words, 5);
+    EXPECT_LE(orig_words, 34);
+    EXPECT_GE(word_count(e.change), 1);
+    EXPECT_LE(word_count(e.change), 6);
+    // updated = orig + change
+    EXPECT_EQ(word_count(e.updated), orig_words + word_count(e.change));
+  }
+}
+
+TEST(WikiGenerator, FrequentWordsAreShort) {
+  // The tuning lever behind LLF's low selectivity: the most frequent word
+  // of a sentence is rarely longer than 10 characters.
+  WikiGenerator g(2);
+  int long_mfw = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (most_frequent_word(g.make(std::uint64_t(i)).orig).size() > 10) {
+      ++long_mfw;
+    }
+  }
+  // Low but not (necessarily) zero; Table 1 nominal is ~5e-3.
+  EXPECT_LT(long_mfw, n / 20);
+}
+
+}  // namespace
+}  // namespace aggspes::wiki
