@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_guards.dir/bench_ablation_guards.cpp.o"
+  "CMakeFiles/bench_ablation_guards.dir/bench_ablation_guards.cpp.o.d"
+  "bench_ablation_guards"
+  "bench_ablation_guards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_guards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

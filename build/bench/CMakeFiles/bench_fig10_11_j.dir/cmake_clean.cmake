@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_11_j.dir/bench_fig10_11_j.cpp.o"
+  "CMakeFiles/bench_fig10_11_j.dir/bench_fig10_11_j.cpp.o.d"
+  "bench_fig10_11_j"
+  "bench_fig10_11_j.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_j.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fm_rates.dir/bench_fig6_fm_rates.cpp.o"
+  "CMakeFiles/bench_fig6_fm_rates.dir/bench_fig6_fm_rates.cpp.o.d"
+  "bench_fig6_fm_rates"
+  "bench_fig6_fm_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fm_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_8_fm.dir/bench_fig7_8_fm.cpp.o"
+  "CMakeFiles/bench_fig7_8_fm.dir/bench_fig7_8_fm.cpp.o.d"
+  "bench_fig7_8_fm"
+  "bench_fig7_8_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

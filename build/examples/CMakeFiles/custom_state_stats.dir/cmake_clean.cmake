@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_state_stats.dir/custom_state_stats.cpp.o"
+  "CMakeFiles/custom_state_stats.dir/custom_state_stats.cpp.o.d"
+  "custom_state_stats"
+  "custom_state_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_state_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

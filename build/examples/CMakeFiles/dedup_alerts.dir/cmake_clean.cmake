@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_alerts.dir/dedup_alerts.cpp.o"
+  "CMakeFiles/dedup_alerts.dir/dedup_alerts.cpp.o.d"
+  "dedup_alerts"
+  "dedup_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

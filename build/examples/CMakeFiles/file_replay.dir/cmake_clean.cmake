@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_replay.dir/file_replay.cpp.o"
+  "CMakeFiles/file_replay.dir/file_replay.cpp.o.d"
+  "file_replay"
+  "file_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

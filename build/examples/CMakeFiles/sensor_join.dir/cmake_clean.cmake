@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_join.dir/sensor_join.cpp.o"
+  "CMakeFiles/sensor_join.dir/sensor_join.cpp.o.d"
+  "sensor_join"
+  "sensor_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

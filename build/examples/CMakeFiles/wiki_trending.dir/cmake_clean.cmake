@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiki_trending.dir/wiki_trending.cpp.o"
+  "CMakeFiles/wiki_trending.dir/wiki_trending.cpp.o.d"
+  "wiki_trending"
+  "wiki_trending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiki_trending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

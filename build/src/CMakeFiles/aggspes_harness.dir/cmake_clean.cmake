@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggspes_harness.dir/harness/experiments.cpp.o"
+  "CMakeFiles/aggspes_harness.dir/harness/experiments.cpp.o.d"
+  "CMakeFiles/aggspes_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/aggspes_harness.dir/harness/report.cpp.o.d"
+  "CMakeFiles/aggspes_harness.dir/harness/sustainable.cpp.o"
+  "CMakeFiles/aggspes_harness.dir/harness/sustainable.cpp.o.d"
+  "libaggspes_harness.a"
+  "libaggspes_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggspes_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

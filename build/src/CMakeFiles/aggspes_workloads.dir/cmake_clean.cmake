@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggspes_workloads.dir/workloads/scans.cpp.o"
+  "CMakeFiles/aggspes_workloads.dir/workloads/scans.cpp.o.d"
+  "CMakeFiles/aggspes_workloads.dir/workloads/wiki.cpp.o"
+  "CMakeFiles/aggspes_workloads.dir/workloads/wiki.cpp.o.d"
+  "libaggspes_workloads.a"
+  "libaggspes_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggspes_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaggspes_workloads.a"
+)

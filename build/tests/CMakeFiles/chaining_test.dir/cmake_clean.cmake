@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaining_test.dir/integration/chaining_test.cpp.o"
+  "CMakeFiles/chaining_test.dir/integration/chaining_test.cpp.o.d"
+  "chaining_test"
+  "chaining_test.pdb"
+  "chaining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

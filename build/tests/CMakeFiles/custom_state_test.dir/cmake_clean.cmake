@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_state_test.dir/aggbased/custom_state_test.cpp.o"
+  "CMakeFiles/custom_state_test.dir/aggbased/custom_state_test.cpp.o.d"
+  "custom_state_test"
+  "custom_state_test.pdb"
+  "custom_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eager_test.dir/aggbased/eager_test.cpp.o"
+  "CMakeFiles/eager_test.dir/aggbased/eager_test.cpp.o.d"
+  "eager_test"
+  "eager_test.pdb"
+  "eager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

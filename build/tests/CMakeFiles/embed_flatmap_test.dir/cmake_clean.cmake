@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embed_flatmap_test.dir/aggbased/embed_flatmap_test.cpp.o"
+  "CMakeFiles/embed_flatmap_test.dir/aggbased/embed_flatmap_test.cpp.o.d"
+  "embed_flatmap_test"
+  "embed_flatmap_test.pdb"
+  "embed_flatmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embed_flatmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embed_join_test.dir/aggbased/embed_join_test.cpp.o"
+  "CMakeFiles/embed_join_test.dir/aggbased/embed_join_test.cpp.o.d"
+  "embed_join_test"
+  "embed_join_test.pdb"
+  "embed_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embed_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flatmap_equivalence_test.dir/aggbased/flatmap_equivalence_test.cpp.o"
+  "CMakeFiles/flatmap_equivalence_test.dir/aggbased/flatmap_equivalence_test.cpp.o.d"
+  "flatmap_equivalence_test"
+  "flatmap_equivalence_test.pdb"
+  "flatmap_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flatmap_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

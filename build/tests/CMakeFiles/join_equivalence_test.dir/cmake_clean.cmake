@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_equivalence_test.dir/aggbased/join_equivalence_test.cpp.o"
+  "CMakeFiles/join_equivalence_test.dir/aggbased/join_equivalence_test.cpp.o.d"
+  "join_equivalence_test"
+  "join_equivalence_test.pdb"
+  "join_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_guard_test.dir/aggbased/loop_guard_test.cpp.o"
+  "CMakeFiles/loop_guard_test.dir/aggbased/loop_guard_test.cpp.o.d"
+  "loop_guard_test"
+  "loop_guard_test.pdb"
+  "loop_guard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_guard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

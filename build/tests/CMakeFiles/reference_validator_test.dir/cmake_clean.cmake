@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_validator_test.dir/aggbased/reference_validator_test.cpp.o"
+  "CMakeFiles/reference_validator_test.dir/aggbased/reference_validator_test.cpp.o.d"
+  "reference_validator_test"
+  "reference_validator_test.pdb"
+  "reference_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scans_test.dir/workloads/scans_test.cpp.o"
+  "CMakeFiles/scans_test.dir/workloads/scans_test.cpp.o.d"
+  "scans_test"
+  "scans_test.pdb"
+  "scans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

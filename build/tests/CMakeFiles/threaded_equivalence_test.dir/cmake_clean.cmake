@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_equivalence_test.dir/integration/threaded_equivalence_test.cpp.o"
+  "CMakeFiles/threaded_equivalence_test.dir/integration/threaded_equivalence_test.cpp.o.d"
+  "threaded_equivalence_test"
+  "threaded_equivalence_test.pdb"
+  "threaded_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

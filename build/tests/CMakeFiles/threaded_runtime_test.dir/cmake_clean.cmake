@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_runtime_test.dir/core/threaded_runtime_test.cpp.o"
+  "CMakeFiles/threaded_runtime_test.dir/core/threaded_runtime_test.cpp.o.d"
+  "threaded_runtime_test"
+  "threaded_runtime_test.pdb"
+  "threaded_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watermark_assigner_test.dir/core/watermark_assigner_test.cpp.o"
+  "CMakeFiles/watermark_assigner_test.dir/core/watermark_assigner_test.cpp.o.d"
+  "watermark_assigner_test"
+  "watermark_assigner_test.pdb"
+  "watermark_assigner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watermark_assigner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

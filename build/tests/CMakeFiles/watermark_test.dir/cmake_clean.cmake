@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watermark_test.dir/core/watermark_test.cpp.o"
+  "CMakeFiles/watermark_test.dir/core/watermark_test.cpp.o.d"
+  "watermark_test"
+  "watermark_test.pdb"
+  "watermark_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watermark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

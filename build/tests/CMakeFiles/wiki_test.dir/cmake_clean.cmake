@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiki_test.dir/workloads/wiki_test.cpp.o"
+  "CMakeFiles/wiki_test.dir/workloads/wiki_test.cpp.o.d"
+  "wiki_test"
+  "wiki_test.pdb"
+  "wiki_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiki_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_edge_cases_test.dir/core/window_edge_cases_test.cpp.o"
+  "CMakeFiles/window_edge_cases_test.dir/core/window_edge_cases_test.cpp.o.d"
+  "window_edge_cases_test"
+  "window_edge_cases_test.pdb"
+  "window_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

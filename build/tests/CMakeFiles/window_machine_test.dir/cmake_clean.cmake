@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_machine_test.dir/core/window_machine_test.cpp.o"
+  "CMakeFiles/window_machine_test.dir/core/window_machine_test.cpp.o.d"
+  "window_machine_test"
+  "window_machine_test.pdb"
+  "window_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
