@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Chaos sweep: build with ThreadSanitizer (or AGGSPES_SANITIZE=address) and
+# run the fault-injection equivalence suite (ctest label: chaos) RUNS times.
+#
+# The fault schedules inside the suite are seed-driven and fixed — same
+# seed, same edge list, same crash/stall/drop/dup sequence — so a red run
+# here reproduces by rerunning the same command. Repetition exercises the
+# thread-timing dimension the seeds do not pin down (which checkpoints
+# complete before a crash lands); output equivalence must hold either way.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SANITIZE="${AGGSPES_SANITIZE:-thread}"
+BUILD="${BUILD_DIR:-$ROOT/build-chaos-$SANITIZE}"
+RUNS="${RUNS:-3}"
+
+cmake -B "$BUILD" -S "$ROOT" -DAGGSPES_SANITIZE="$SANITIZE" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j"$(nproc)" --target chaos_test
+
+for i in $(seq 1 "$RUNS"); do
+  echo "=== chaos sweep $i/$RUNS (sanitize=$SANITIZE) ==="
+  ctest --test-dir "$BUILD" -L chaos --output-on-failure -j"$(nproc)"
+done

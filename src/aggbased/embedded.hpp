@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/hashing.hpp"
+#include "core/recovery/snapshot.hpp"
 
 namespace aggspes {
 
@@ -78,6 +79,39 @@ struct JoinSides {
   bool from_left() const { return right.empty(); }
 
   friend bool operator==(const JoinSides&, const JoinSides&) = default;
+};
+
+/// Snapshot codecs for the envelopes, so AggBased compositions are
+/// checkpointable end to end. The item-list constructor recomputes the
+/// list hash on restore; loop-hop sharing is not preserved across a
+/// snapshot (each restored envelope owns its list), which only costs
+/// memory, not correctness: equality is deep.
+template <typename T>
+  requires SnapshotSerializable<T>
+struct StateCodec<Embedded<T>> {
+  static void write(SnapshotWriter& w, const Embedded<T>& e) {
+    w.write_i64(e.index);
+    write_value(w, e.items());
+  }
+  static Embedded<T> read(SnapshotReader& r) {
+    const std::int64_t idx = r.read_i64();
+    return Embedded<T>(read_value<std::vector<T>>(r), idx);
+  }
+};
+
+template <typename L, typename R>
+  requires(SnapshotSerializable<L> && SnapshotSerializable<R>)
+struct StateCodec<JoinSides<L, R>> {
+  static void write(SnapshotWriter& w, const JoinSides<L, R>& s) {
+    write_value(w, s.left);
+    write_value(w, s.right);
+  }
+  static JoinSides<L, R> read(SnapshotReader& r) {
+    JoinSides<L, R> s;
+    s.left = read_value<std::vector<L>>(r);
+    s.right = read_value<std::vector<R>>(r);
+    return s;
+  }
 };
 
 }  // namespace aggspes

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <vector>
 
 #include "aggbased/embedded.hpp"
 #include "core/operators/operator_base.hpp"
@@ -51,9 +52,64 @@ class C2Guard final : public UnaryNode<Embedded<T>, Embedded<T>> {
   Timestamp bound() const { return bound_; }
   std::size_t pending_watermarks() const { return pending_.size(); }
   std::size_t outstanding_groups() const { return succ_.size(); }
+  /// A barrier is staged and the guard is recording loop-channel state
+  /// until the marker comes back around the feedback edge.
+  bool recording_loop() const { return logging_; }
+  std::size_t logged_loop_tuples() const { return loop_log_.size(); }
+
+  /// Everything Listing 4 tracks: the watermark bound, succΓ, pendingW and
+  /// the held end-of-stream, plus the base watermark positions and any
+  /// loop-channel tuples recorded for an in-flight barrier. A snapshot
+  /// taken mid-loop must round-trip this so a restored guard neither
+  /// admits late tuples nor releases a premature watermark.
+  void snapshot_to(SnapshotWriter& w) const override {
+    write_state(w);
+    write_log(w, loop_log_);
+  }
+
+  void restore_from(SnapshotReader& r) override {
+    this->load_base(r);
+    bound_ = r.read_i64();
+    succ_.clear();
+    const std::size_t n_succ = r.read_size();
+    for (std::size_t i = 0; i < n_succ; ++i) {
+      const Timestamp ts = r.read_i64();
+      succ_[ts] = r.read_i64();
+    }
+    pending_.clear();
+    const std::size_t n_pending = r.read_size();
+    for (std::size_t i = 0; i < n_pending; ++i) {
+      pending_.push_back(r.read_i64());
+    }
+    end_pending_ = r.read_bool();
+    logging_ = false;
+    loop_log_.clear();
+    // Loop-channel state at the cut: tuples that were in flight on the
+    // feedback edge. Re-deliver them through the loop port so succΓ
+    // drains and they reach A1 ahead of any replayed source element.
+    if (r.read_bool()) {
+      if constexpr (kSerializable) {
+        const std::size_t n = r.read_size();
+        std::vector<Tuple<Env>> logged;
+        logged.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          logged.push_back(read_value<Tuple<Env>>(r));
+        }
+        for (const Tuple<Env>& t : logged) on_tuple(1, t);
+      } else {
+        throw SnapshotError(
+            "C2Guard snapshot carries loop tuples but the payload lacks a "
+            "StateCodec");
+      }
+    }
+  }
 
  protected:
-  void on_tuple(int, const Tuple<Env>& t) override {  // processT
+  void on_tuple(int port, const Tuple<Env>& t) override {  // processT
+    // Chandy-Lamport channel recording: between the barrier arriving on
+    // the regular input and the marker returning around the loop, every
+    // feedback arrival is part of the checkpoint's channel state.
+    if (logging_ && port != 0) loop_log_.push_back(t);
     this->out_.push_tuple(t);
     if (t.value.from_embed()) {
       // γ with left boundary t.τ expects |t[1]| successors back.
@@ -76,6 +132,29 @@ class C2Guard final : public UnaryNode<Embedded<T>, Embedded<T>> {
     maybe_finish();
   }
 
+  /// The loop head cannot wait for the feedback loop to quiesce before
+  /// snapshotting: draining may need watermarks that sit *behind* the held
+  /// marker channel (deadlock). Instead, stage the cut now, forward the
+  /// marker, and record loop arrivals until the marker comes back around
+  /// the cycle — the FIFO loop edge makes the returning marker an exact
+  /// divider between in-flight pre-cut tuples (channel state, logged) and
+  /// post-cut traffic. The barrier completes, and the runtime's channel
+  /// hold releases, only when the marker returns; the round-trip needs no
+  /// watermark progress, so it cannot stall.
+  void on_marker(std::uint64_t id) override {
+    if (logging_) seal_staged();  // overlapping barrier (no channel hold)
+    staged_ = SnapshotWriter{};
+    write_state(staged_);
+    staged_id_ = id;
+    logging_ = true;
+    loop_log_.clear();
+    this->out_.push(Element<Env>{CheckpointMarker{id}});
+  }
+
+  void on_loop_marker(std::uint64_t id) override {
+    if (logging_ && id == staged_id_) seal_staged();
+  }
+
   void on_watermark(Timestamp w) override {  // processW
     if (w <= bound_) {
       this->out_.push_watermark(w);
@@ -90,6 +169,43 @@ class C2Guard final : public UnaryNode<Embedded<T>, Embedded<T>> {
   }
 
  private:
+  static constexpr bool kSerializable = SnapshotSerializable<Env>;
+
+  /// Scalar guard state, without the loop log (shared by snapshot_to and
+  /// the staged barrier cut).
+  void write_state(SnapshotWriter& w) const {
+    this->save_base(w);
+    w.write_i64(bound_);
+    w.write_size(succ_.size());
+    for (const auto& [ts, n] : succ_) {
+      w.write_i64(ts);
+      w.write_i64(n);
+    }
+    w.write_size(pending_.size());
+    for (Timestamp t : pending_) w.write_i64(t);
+    w.write_bool(end_pending_);
+  }
+
+  void write_log(SnapshotWriter& w, const std::vector<Tuple<Env>>& log) const {
+    if constexpr (kSerializable) {
+      w.write_bool(true);
+      w.write_size(log.size());
+      for (const Tuple<Env>& t : log) write_value(w, t);
+    } else {
+      // Restore of an unserializable pipeline is refused by the operators
+      // themselves; the guard degrades the same way and drops the log.
+      w.write_bool(false);
+    }
+  }
+
+  /// Completes the staged barrier: cut state + recorded loop tuples.
+  void seal_staged() {
+    logging_ = false;
+    write_log(staged_, loop_log_);
+    loop_log_.clear();
+    this->complete_barrier_with(staged_id_, staged_.take());
+  }
+
   void maybe_finish() {
     if (!end_pending_ || !succ_.empty()) return;
     if (!pending_.empty()) {
@@ -105,6 +221,11 @@ class C2Guard final : public UnaryNode<Embedded<T>, Embedded<T>> {
   std::map<Timestamp, std::int64_t> succ_;        // succΓ
   std::deque<Timestamp> pending_;                 // pendingW
   bool end_pending_{false};
+  // Barrier in flight around the loop: staged cut + recorded channel state.
+  SnapshotWriter staged_;
+  std::uint64_t staged_id_{0};
+  bool logging_{false};
+  std::vector<Tuple<Env>> loop_log_;
 };
 
 /// Listing 5. Sits on A1's output stream S_A2 (which feeds both A2 and,
@@ -132,6 +253,27 @@ class C3Guard final : public UnaryNode<Embedded<T>, Embedded<T>> {
 
   Timestamp last_forwarded() const { return last_w_; }
   std::size_t outstanding_groups() const { return succ_.size(); }
+
+  void snapshot_to(SnapshotWriter& w) const override {
+    this->save_base(w);
+    w.write_size(succ_.size());
+    for (const auto& [ts, n] : succ_) {
+      w.write_i64(ts);
+      w.write_i64(n);
+    }
+    w.write_i64(last_w_);
+  }
+
+  void restore_from(SnapshotReader& r) override {
+    this->load_base(r);
+    succ_.clear();
+    const std::size_t n_succ = r.read_size();
+    for (std::size_t i = 0; i < n_succ; ++i) {
+      const Timestamp ts = r.read_i64();
+      succ_[ts] = r.read_i64();
+    }
+    last_w_ = r.read_i64();
+  }
 
  protected:
   void on_tuple(int, const Tuple<Env>& t) override {  // processT
@@ -162,8 +304,10 @@ class C3Guard final : public UnaryNode<Embedded<T>, Embedded<T>> {
   }
 
   void on_end() override {
-    // By C2, every successor chain completed before A1 forwarded its end.
-    assert(succ_.empty());
+    // By C2, every successor chain completes before A1 forwards its end on
+    // a clean run (succ_ is empty here). On a failure drain
+    // (fail_downstream) the loop may be cut mid-envelope; forward the end
+    // regardless so the graph winds down instead of aborting.
     this->out_.push_end();
   }
 

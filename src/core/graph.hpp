@@ -12,6 +12,7 @@
 //        back to it through the loop.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <deque>
@@ -21,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/recovery/snapshot.hpp"
 #include "core/types.hpp"
 
 namespace aggspes {
@@ -59,15 +61,19 @@ class Channel {
 
 /// Producing side of a stream: fans out to all subscribed channels (P2),
 /// withholding watermarks and end-of-stream from loop channels (P3).
+/// CheckpointMarkers DO traverse loop channels: the loop head uses the
+/// returning marker as the Chandy-Lamport divider between in-flight
+/// feedback tuples that belong to the checkpoint's channel state and
+/// post-cut traffic (see C2Guard::on_loop_marker).
 template <typename T>
 class Outlet {
  public:
   void subscribe(Channel<T>* c) { channels_.push_back(c); }
 
   void push(const Element<T>& e) {
-    const bool data = is_tuple(e);
+    const bool through_loop = is_tuple(e) || is_marker(e);
     for (Channel<T>* c : channels_) {
-      if (!data && c->loop()) continue;
+      if (!through_loop && c->loop()) continue;
       c->push(e);
     }
   }
@@ -82,12 +88,72 @@ class Outlet {
   std::vector<Channel<T>*> channels_;
 };
 
-/// Base class for graph nodes; exists so a Flow can own heterogeneous nodes.
+/// Base class for graph nodes; exists so a Flow can own heterogeneous
+/// nodes. Besides pump(), it carries the recovery hooks every node shares:
+/// state (de)serialization, barrier completion accounting, and the
+/// diagnostics the runtime's watchdog reads.
 class NodeBase {
  public:
   virtual ~NodeBase() = default;
   /// Sources override this; the scheduler calls it once at startup.
   virtual void pump() {}
+
+  /// Serializes this node's recoverable state. Stateless nodes write
+  /// nothing; stateful operators override.
+  virtual void snapshot_to(SnapshotWriter&) const {}
+  /// Restores state produced by snapshot_to. Called before threads start.
+  virtual void restore_from(SnapshotReader&) {}
+
+  /// Current combined watermark, for watchdog diagnostics (kMinTimestamp
+  /// for nodes without watermark bookkeeping).
+  virtual Timestamp node_watermark() const { return kMinTimestamp; }
+
+  /// Best-effort EndOfStream to downstream peers, used by the runtime when
+  /// this node fails or aborts so the rest of the graph can drain.
+  virtual void fail_downstream() {}
+
+  /// Binds this node to a checkpoint recorder under a stable index
+  /// (ThreadedFlow add() order, reproducible across rebuilds).
+  void bind_recovery(CheckpointRecorder* recorder, std::size_t index) {
+    recorder_ = recorder;
+    node_index_ = index;
+  }
+
+  /// Barriers completed by this node so far. Channels that delivered a
+  /// marker hold further deliveries until this advances past the marker
+  /// (alignment: no post-barrier element reaches the node before it
+  /// snapshots).
+  std::uint64_t completed_barriers() const {
+    return barriers_done_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  /// Records this node's state for checkpoint `id` (if a recorder is
+  /// bound) and releases channels held for alignment.
+  void complete_barrier(std::uint64_t id) {
+    if (recorder_ != nullptr) {
+      SnapshotWriter w;
+      snapshot_to(w);
+      recorder_->record(node_index_, id, w.take());
+    }
+    barriers_done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// complete_barrier variant for nodes whose checkpoint state is not
+  /// "current state at completion time" — e.g. the loop head, which stages
+  /// its state when the marker arrives and appends the loop channel's
+  /// in-flight tuples before completing.
+  void complete_barrier_with(std::uint64_t id, SnapshotWriter::Bytes bytes) {
+    if (recorder_ != nullptr) {
+      recorder_->record(node_index_, id, std::move(bytes));
+    }
+    barriers_done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  CheckpointRecorder* recorder_{nullptr};
+  std::size_t node_index_{0};
+  std::atomic<std::uint64_t> barriers_done_{0};
 };
 
 /// Whether an edge is a normal stream or a feedback loop (P3).

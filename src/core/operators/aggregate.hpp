@@ -42,6 +42,29 @@ class AggregateOp final : public UnaryNode<In, Out> {
 
   const WindowMachine<In, Key>& machine() const { return machine_; }
 
+  /// Recoverable state: watermark positions plus the window machine
+  /// (panes, fired flags, counters). Payload/key types without a
+  /// StateCodec degrade to an explicit "unsupported" flag.
+  void snapshot_to(SnapshotWriter& w) const override {
+    this->save_base(w);
+    if constexpr (kSerializable) {
+      w.write_bool(true);
+      machine_.save(w);
+    } else {
+      w.write_bool(false);
+    }
+  }
+
+  void restore_from(SnapshotReader& r) override {
+    this->load_base(r);
+    const bool has_state = r.read_bool();
+    if constexpr (kSerializable) {
+      if (has_state) machine_.load(r);
+    } else if (has_state) {
+      throw SnapshotError("AggregateOp payload lacks a StateCodec");
+    }
+  }
+
  protected:
   void on_tuple(int, const Tuple<In>& t) override {
     machine_.add(t, this->watermark(), fire_);
@@ -66,6 +89,9 @@ class AggregateOp final : public UnaryNode<In, Out> {
                                        max_stamp(items), std::move(*o)});
     }
   }
+
+  static constexpr bool kSerializable =
+      SnapshotSerializable<In> && SnapshotSerializable<Key>;
 
   WindowMachine<In, Key> machine_;
   AggFn f_o_;

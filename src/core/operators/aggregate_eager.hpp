@@ -43,6 +43,26 @@ class AggregateEagerOp final : public UnaryNode<In, Out> {
 
   const WindowMachine<In, Key>& machine() const { return machine_; }
 
+  void snapshot_to(SnapshotWriter& w) const override {
+    this->save_base(w);
+    if constexpr (kSerializable) {
+      w.write_bool(true);
+      machine_.save(w);
+    } else {
+      w.write_bool(false);
+    }
+  }
+
+  void restore_from(SnapshotReader& r) override {
+    this->load_base(r);
+    const bool has_state = r.read_bool();
+    if constexpr (kSerializable) {
+      if (has_state) machine_.load(r);
+    } else if (has_state) {
+      throw SnapshotError("AggregateEagerOp payload lacks a StateCodec");
+    }
+  }
+
  protected:
   void on_tuple(int, const Tuple<In>& t) override {
     machine_.add(
@@ -73,6 +93,9 @@ class AggregateEagerOp final : public UnaryNode<In, Out> {
       this->out_.push_tuple(Tuple<Out>{ts, stamp, std::move(o)});
     }
   }
+
+  static constexpr bool kSerializable =
+      SnapshotSerializable<In> && SnapshotSerializable<Key>;
 
   WindowMachine<In, Key> machine_;
   IncFn f_i_;

@@ -127,6 +127,9 @@ class FileSink final : public NodeBase {
     if (const auto* t = std::get_if<Tuple<T>>(&e)) {
       out_ << t->ts << delim_ << format_(t->value) << '\n';
       ++written_;
+    } else if (const auto* m = std::get_if<CheckpointMarker>(&e)) {
+      out_.flush();  // the file reflects the cut before the barrier closes
+      this->complete_barrier(m->id);
     } else if (is_end(e)) {
       out_.flush();
     }

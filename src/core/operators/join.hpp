@@ -40,6 +40,53 @@ class JoinOp final : public BinaryNode<L, R, std::pair<L, R>> {
   std::uint64_t comparisons() const { return comparisons_; }
   std::uint64_t dropped_late() const { return dropped_late_; }
 
+  void snapshot_to(SnapshotWriter& w) const override {
+    this->save_base(w);
+    if constexpr (kSerializable) {
+      w.write_bool(true);
+      w.write_size(instances_.size());
+      for (const auto& [l, keys] : instances_) {
+        w.write_i64(l);
+        w.write_size(keys.size());
+        for (const auto& [key, cell] : keys) {
+          write_value(w, key);
+          write_value(w, cell.lefts);
+          write_value(w, cell.rights);
+        }
+      }
+      w.write_u64(comparisons_);
+      w.write_u64(dropped_late_);
+    } else {
+      w.write_bool(false);
+    }
+  }
+
+  void restore_from(SnapshotReader& r) override {
+    this->load_base(r);
+    const bool has_state = r.read_bool();
+    if constexpr (kSerializable) {
+      if (!has_state) return;
+      instances_.clear();
+      const std::size_t n_instances = r.read_size();
+      for (std::size_t i = 0; i < n_instances; ++i) {
+        const Timestamp l = r.read_i64();
+        auto& keys = instances_[l];
+        const std::size_t n_keys = r.read_size();
+        for (std::size_t k = 0; k < n_keys; ++k) {
+          Key key = read_value<Key>(r);
+          Cell cell;
+          cell.lefts = read_value<std::vector<Tuple<L>>>(r);
+          cell.rights = read_value<std::vector<Tuple<R>>>(r);
+          keys.emplace(std::move(key), std::move(cell));
+        }
+      }
+      comparisons_ = r.read_u64();
+      dropped_late_ = r.read_u64();
+    } else if (has_state) {
+      throw SnapshotError("JoinOp payload lacks a StateCodec");
+    }
+  }
+
  protected:
   void on_left(const Tuple<L>& t) override {
     const Key key = f_k1_(t.value);
@@ -96,6 +143,10 @@ class JoinOp final : public BinaryNode<L, R, std::pair<L, R>> {
         Tuple<Out>{spec_.output_ts(l), a.stamp > b.stamp ? a.stamp : b.stamp,
                    Out{a.value, b.value}});
   }
+
+  static constexpr bool kSerializable = SnapshotSerializable<L> &&
+                                        SnapshotSerializable<R> &&
+                                        SnapshotSerializable<Key>;
 
   WindowSpec spec_;
   LeftKeyFn f_k1_;

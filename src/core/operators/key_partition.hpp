@@ -37,6 +37,12 @@ class KeySplitter final : public NodeBase {
       std::size_t idx = std::hash<Key>{}(key_fn_(t->value)) % outs_.size();
       outs_[idx].push(e);
     } else {
+      // Watermarks, markers and end-of-stream are broadcast; a marker
+      // additionally closes this (stateless) node's barrier before fanning
+      // out, so alignment proceeds per physical instance downstream.
+      if (const auto* m = std::get_if<CheckpointMarker>(&e)) {
+        this->complete_barrier(m->id);
+      }
       for (auto& o : outs_) o.push(e);
     }
   }
@@ -59,12 +65,22 @@ class RoundRobinSplitter final : public NodeBase {
   Outlet<T>& out(int i) { return outs_[static_cast<std::size_t>(i)]; }
   int instances() const { return static_cast<int>(outs_.size()); }
 
+  /// The round-robin cursor is state: replayed tuples must route to the
+  /// same instances they reached before the failure.
+  void snapshot_to(SnapshotWriter& w) const override {
+    w.write_size(next_);
+  }
+  void restore_from(SnapshotReader& r) override { next_ = r.read_size(); }
+
  private:
   void receive(const Element<T>& e) {
     if (is_tuple(e)) {
       outs_[next_].push(e);
       next_ = (next_ + 1) % outs_.size();
     } else {
+      if (const auto* m = std::get_if<CheckpointMarker>(&e)) {
+        this->complete_barrier(m->id);
+      }
       for (auto& o : outs_) o.push(e);
     }
   }

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/recovery/snapshot.hpp"
 #include "core/types.hpp"
 #include "core/window.hpp"
 
@@ -123,6 +124,49 @@ class WindowMachine {
   std::uint64_t late_updates() const { return late_updates_; }
   std::uint64_t fired_instances() const { return fired_instances_; }
   std::size_t open_instances() const { return instances_.size(); }
+
+  /// Serializes every open instance — items in arrival order plus the
+  /// `fired` flag — and the counters. The fired flag is what makes replay
+  /// idempotent: a restored instance that already produced its one output
+  /// will not fire again when replayed watermarks pass it.
+  ///
+  /// Only instantiated for payload/key types with a StateCodec (callers
+  /// guard with `if constexpr (SnapshotSerializable<...>)`).
+  void save(SnapshotWriter& w) const {
+    w.write_size(instances_.size());
+    for (const auto& [l, keys] : instances_) {
+      w.write_i64(l);
+      w.write_size(keys.size());
+      for (const auto& [key, bucket] : keys) {
+        write_value(w, key);
+        write_value(w, bucket.items);
+        w.write_bool(bucket.fired);
+      }
+    }
+    w.write_u64(dropped_late_);
+    w.write_u64(late_updates_);
+    w.write_u64(fired_instances_);
+  }
+
+  void load(SnapshotReader& r) {
+    instances_.clear();
+    const std::size_t n_instances = r.read_size();
+    for (std::size_t i = 0; i < n_instances; ++i) {
+      const Timestamp l = r.read_i64();
+      auto& keys = instances_[l];
+      const std::size_t n_keys = r.read_size();
+      for (std::size_t k = 0; k < n_keys; ++k) {
+        Key key = read_value<Key>(r);
+        Bucket b;
+        b.items = read_value<std::vector<Tuple<In>>>(r);
+        b.fired = r.read_bool();
+        keys.emplace(std::move(key), std::move(b));
+      }
+    }
+    dropped_late_ = r.read_u64();
+    late_updates_ = r.read_u64();
+    fired_instances_ = r.read_u64();
+  }
 
  private:
   struct Bucket {

@@ -1,0 +1,100 @@
+// In-memory checkpoint store: collects per-node state snapshots keyed by
+// (checkpoint id, node index) and tracks which checkpoint ids are
+// *complete* — every node of the graph recorded its state for that id.
+// Only complete checkpoints are restore candidates: an incomplete one
+// (barrier still in flight when the failure hit, or a source that ended
+// before emitting the id) would restore some nodes to a cut the others
+// never reached.
+//
+// Thread safety: nodes record from their own worker threads; restores and
+// queries happen between runs on the supervisor thread. A single mutex
+// suffices — recording is rare (once per node per checkpoint).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/recovery/snapshot.hpp"
+
+namespace aggspes {
+
+class CheckpointStore final : public CheckpointRecorder {
+ public:
+  using Bytes = SnapshotWriter::Bytes;
+
+  /// Number of nodes that must record before an id counts as complete.
+  /// Called by ThreadedFlow::enable_checkpoints; idempotent across restart
+  /// attempts (the rebuilt graph has the same shape).
+  void set_expected_nodes(std::size_t n) {
+    std::lock_guard<std::mutex> lk(mu_);
+    expected_ = n;
+    // New run epoch: drop partial records of incomplete ids. A restarted
+    // attempt re-records those ids from its own replay; counting a stale
+    // partial toward completeness would mix two attempts' cuts, which is
+    // inconsistent for loop subgraphs (the split between a loop head's
+    // state and its recorded channel tuples is timing-dependent).
+    const std::uint64_t keep_to = latest_complete_ ? *latest_complete_ : 0;
+    for (auto it = records_.begin(); it != records_.end();) {
+      if (it->first > keep_to) {
+        it = records_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void record(std::size_t node_index, std::uint64_t checkpoint_id,
+              Bytes state) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& per_node = records_[checkpoint_id];
+    per_node[node_index] = std::move(state);
+    ++records_taken_;
+    if (expected_ != 0 && per_node.size() == expected_ &&
+        (!latest_complete_ || checkpoint_id > *latest_complete_)) {
+      latest_complete_ = checkpoint_id;
+    }
+  }
+
+  /// Highest checkpoint id every node recorded, if any.
+  std::optional<std::uint64_t> latest_complete() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return latest_complete_;
+  }
+
+  /// State bytes node `node_index` recorded for `checkpoint_id`, if any.
+  std::optional<Bytes> find(std::size_t node_index,
+                            std::uint64_t checkpoint_id) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = records_.find(checkpoint_id);
+    if (it == records_.end()) return std::nullopt;
+    auto jt = it->second.find(node_index);
+    if (jt == it->second.end()) return std::nullopt;
+    return jt->second;
+  }
+
+  /// Total individual node records taken (diagnostics).
+  std::uint64_t records_taken() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return records_taken_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    records_.clear();
+    latest_complete_.reset();
+    records_taken_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t expected_{0};
+  std::map<std::uint64_t, std::unordered_map<std::size_t, Bytes>> records_;
+  std::optional<std::uint64_t> latest_complete_;
+  std::uint64_t records_taken_{0};
+};
+
+}  // namespace aggspes

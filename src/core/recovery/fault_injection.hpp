@@ -1,0 +1,172 @@
+// Deterministic, seed-driven fault injection for the threaded runtime.
+//
+// A fault event is a pure function of (restart attempt, edge, delivery
+// count): the schedule is materialized once from a seed and the graph's
+// edge list, and each event names the attempt in which it fires. Repeating
+// a chaos run with the same seed therefore replays the identical fault
+// sequence — crash at the same tuple, stall for the same duration, on the
+// same edge — which is what makes chaos failures reproducible.
+//
+// Fault kinds and their recovery story:
+//  * Crash        — the consuming node throws at its Nth channel delivery;
+//                   the supervisor restores the last complete checkpoint.
+//  * Stall        — the edge stops delivering for D ms (tests watchdog
+//                   margins; semantics unaffected, FIFO order preserved).
+//  * Delay        — a short per-delivery sleep (slow link; semantics
+//                   unaffected).
+//  * DropCrash    — the edge loses one tuple *and the link dies with it*:
+//                   the tuple is discarded and the consumer crashes in the
+//                   same delivery. Because barrier alignment guarantees
+//                   every element delivered after marker K originates from
+//                   source positions after K's offset, rewinding to the
+//                   last complete checkpoint re-emits the lost tuple —
+//                   at-least-once delivery healing the drop.
+//  * DupCrash     — the edge delivers one tuple twice, then the consumer
+//                   crashes. The restore discards the double-counted
+//                   window contents, and replay delivers the tuple once.
+//
+// Drop/duplicate/delay only ever target non-loop edges (the ISSUE's
+// contract; loop tuples carry succΓ bookkeeping whose loss is healed by
+// the same crash-restore path, but keeping loops clean keeps the fault
+// model aligned with the paper's P3).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace aggspes {
+
+/// Thrown by a faulted channel delivery; caught by the consumer's runner
+/// and surfaced as a node failure.
+class CrashInjected : public std::runtime_error {
+ public:
+  explicit CrashInjected(const std::string& what)
+      : std::runtime_error("injected crash: " + what) {}
+};
+
+enum class FaultKind : std::uint8_t {
+  kCrash,
+  kStall,
+  kDelay,
+  kDropCrash,
+  kDupCrash,
+};
+
+inline const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDropCrash: return "drop+crash";
+    case FaultKind::kDupCrash: return "dup+crash";
+  }
+  return "?";
+}
+
+struct FaultEvent {
+  FaultKind kind{FaultKind::kCrash};
+  int attempt{0};            ///< restart attempt in which the event fires
+  std::size_t edge{0};       ///< channel index (ThreadedFlow connect order)
+  std::uint64_t at_delivery{0};  ///< fires at this delivery count (1-based)
+  std::uint64_t param_ms{0};     ///< stall/delay duration
+};
+
+/// What a channel should do at one delivery.
+struct FaultAction {
+  FaultKind kind;
+  std::uint64_t param_ms;
+};
+
+/// Edge metadata the flow hands to materialize().
+struct EdgeInfo {
+  bool loop{false};
+};
+
+/// Holds the fault schedule across restart attempts. The flow calls
+/// `materialize` once (edges known), `begin_attempt` before each run, and
+/// each channel calls `on_delivery` per element it delivers.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Explicit schedule (tests that target one edge precisely).
+  void add_event(FaultEvent e) { events_.push_back(e); }
+
+  /// Seed-derived schedule over the graph's edges: one primary fault in
+  /// attempt 0 (kind chosen by the seed) plus, for roughly half the seeds,
+  /// a secondary crash in attempt 1 — exercising repeated recovery.
+  /// Deterministic: same seed + same edge list ⇒ same schedule.
+  void materialize(const std::vector<EdgeInfo>& edges) {
+    if (materialized_ || !events_.empty()) {
+      materialized_ = true;
+      return;
+    }
+    materialized_ = true;
+    if (edges.empty()) return;
+    std::mt19937_64 rng(seed_);
+    std::vector<std::size_t> normal_edges;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!edges[i].loop) normal_edges.push_back(i);
+    }
+    auto pick_edge = [&](bool allow_loop) -> std::size_t {
+      if (allow_loop || normal_edges.empty()) return rng() % edges.size();
+      return normal_edges[rng() % normal_edges.size()];
+    };
+    const auto kind = static_cast<FaultKind>(rng() % 5);
+    FaultEvent primary;
+    primary.kind = kind;
+    primary.attempt = 0;
+    const bool crash_like =
+        kind == FaultKind::kCrash || kind == FaultKind::kDropCrash ||
+        kind == FaultKind::kDupCrash;
+    // Crashes may hit loop edges too (mid-unfold recovery); transport
+    // faults stay on normal edges.
+    primary.edge = pick_edge(kind == FaultKind::kCrash);
+    primary.at_delivery = 10 + rng() % 120;
+    primary.param_ms = kind == FaultKind::kStall ? 40 + rng() % 80
+                       : kind == FaultKind::kDelay ? 1 + rng() % 5
+                                                   : 0;
+    events_.push_back(primary);
+    if (crash_like && (rng() & 1)) {
+      FaultEvent secondary;
+      secondary.kind = FaultKind::kCrash;
+      secondary.attempt = 1;
+      secondary.edge = pick_edge(true);
+      secondary.at_delivery = 10 + rng() % 120;
+      events_.push_back(secondary);
+    }
+  }
+
+  /// Called by the supervisor before each (re)run.
+  void begin_attempt(int attempt) { attempt_ = attempt; }
+  int attempt() const { return attempt_; }
+
+  /// Fault scheduled for this edge at this delivery count in the current
+  /// attempt, if any. Pure lookup — safe to call from channel threads once
+  /// materialized.
+  const FaultEvent* on_delivery(std::size_t edge,
+                                std::uint64_t delivery) const {
+    for (const FaultEvent& e : events_) {
+      if (e.attempt == attempt_ && e.edge == edge &&
+          e.at_delivery == delivery) {
+        return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+ private:
+  std::uint64_t seed_;
+  bool materialized_{false};
+  int attempt_{0};
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace aggspes

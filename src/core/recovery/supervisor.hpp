@@ -1,0 +1,77 @@
+// Supervised execution: build → (restore) → run → on failure, rebuild from
+// the last complete checkpoint and resume — the recovery loop of the
+// tentpole. The caller provides a *builder* closure that wires a fresh
+// ThreadedFlow each attempt (nodes are consumed by a run, so recovery
+// means rebuild-and-restore, exactly like a process restart): sources must
+// be ReplaySources (or otherwise rewindable via restore_from) for the
+// resumed run to regenerate the lost suffix.
+//
+// The report owns the final (successful) flow so that node pointers the
+// builder handed out — typically the sink to assert on — stay valid after
+// run_with_recovery returns.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/recovery/checkpoint_store.hpp"
+#include "core/recovery/fault_injection.hpp"
+#include "core/runtime/threaded_runtime.hpp"
+
+namespace aggspes {
+
+struct RecoveryOptions {
+  /// Give up (rethrow the last FlowError) after this many attempts.
+  int max_attempts{5};
+  ThreadedFlow::RunOptions run;
+};
+
+struct RecoveryReport {
+  int attempts{1};
+  /// FlowError messages of the failed attempts, in order.
+  std::vector<std::string> failures;
+  /// Checkpoint the final attempt resumed from (nullopt: started fresh —
+  /// either no failure at all, or none had completed).
+  std::optional<std::uint64_t> resumed_from;
+  /// The flow of the successful attempt (keeps builder-captured node
+  /// pointers alive).
+  std::unique_ptr<ThreadedFlow> flow;
+
+  bool recovered() const { return attempts > 1; }
+};
+
+/// `build(flow)` constructs the graph; it runs once per attempt, so any
+/// node pointers it captures must be (re)assigned inside it.
+template <typename BuildFn>
+RecoveryReport run_with_recovery(BuildFn&& build, CheckpointStore& store,
+                                 FaultInjector* faults = nullptr,
+                                 RecoveryOptions opts = {}) {
+  RecoveryReport report;
+  for (int attempt = 0;; ++attempt) {
+    auto flow = std::make_unique<ThreadedFlow>();
+    build(*flow);
+    flow->enable_checkpoints(store);
+    std::optional<std::uint64_t> resumed;
+    if (attempt > 0) resumed = flow->restore_latest(store);
+    if (faults != nullptr) {
+      faults->begin_attempt(attempt);
+      flow->install_faults(*faults);
+    }
+    try {
+      flow->run(opts.run);
+      report.attempts = attempt + 1;
+      report.resumed_from = resumed;
+      report.flow = std::move(flow);
+      return report;
+    } catch (const FlowError& e) {
+      report.failures.emplace_back(e.what());
+      if (attempt + 1 >= opts.max_attempts) throw;
+    }
+  }
+}
+
+}  // namespace aggspes

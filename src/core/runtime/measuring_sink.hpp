@@ -61,6 +61,8 @@ class MeasuringSink final : public NodeBase {
       samples_.push_back({n, t->stamp != 0 && n > t->stamp ? n - t->stamp
                                                            : 0});
       count_.fetch_add(1, std::memory_order_relaxed);
+    } else if (const auto* m = std::get_if<CheckpointMarker>(&e)) {
+      this->complete_barrier(m->id);  // measurements are not checkpointed
     }
   }
 

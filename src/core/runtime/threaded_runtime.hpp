@@ -8,29 +8,124 @@
 // input channels round-robin. A node with outputs exits once it has pushed
 // EndOfStream downstream; a sink exits once all its inputs delivered
 // EndOfStream.
+//
+// Robustness layer (recovery subsystem):
+//  * A node whose handler throws no longer takes the process down: the
+//    runner records the failure, pushes a best-effort EndOfStream to the
+//    node's downstream peers so the healthy part of the graph drains, and
+//    run() rethrows the failure as a FlowError naming the node.
+//  * Channels participate in aligned checkpointing: after delivering a
+//    CheckpointMarker a channel holds further deliveries until its
+//    consumer completes the barrier, so no post-barrier element is
+//    processed before the node's state is snapshotted.
+//  * Channels are the fault-injection surface: an installed FaultInjector
+//    can crash, stall, delay, drop or duplicate a specific delivery of a
+//    specific edge, deterministically per seed (see
+//    core/recovery/fault_injection.hpp).
+//  * A watchdog thread aborts the run with a queue-depth/watermark
+//    diagnostic instead of letting a wedged graph hang forever.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <typeinfo>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#if defined(__GNUG__)
+#include <cxxabi.h>
+
+#include <cstdlib>
+#endif
+
 #include "core/graph.hpp"
+#include "core/recovery/checkpoint_store.hpp"
+#include "core/recovery/fault_injection.hpp"
 #include "core/runtime/spsc_queue.hpp"
 
 namespace aggspes {
 
+/// A node failure (or watchdog abort) surfaced by ThreadedFlow::run().
+class FlowError : public std::runtime_error {
+ public:
+  static constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
+  FlowError(std::size_t node_index, std::string node_name,
+            const std::string& what)
+      : std::runtime_error("node " + std::to_string(node_index) + " (" +
+                           node_name + ") failed: " + what),
+        node_index_(node_index),
+        node_name_(std::move(node_name)) {}
+
+  /// Watchdog / whole-flow variant (no single node to blame).
+  explicit FlowError(const std::string& what)
+      : std::runtime_error(what), node_index_(kNoNode), node_name_("flow") {}
+
+  std::size_t node_index() const { return node_index_; }
+  const std::string& node_name() const { return node_name_; }
+
+ private:
+  std::size_t node_index_;
+  std::string node_name_;
+};
+
+namespace detail {
+
+/// Internal unwind signal for teardown after a watchdog abort; not derived
+/// from std::exception so failure handlers cannot mistake it for a node
+/// error.
+struct FlowAborted {};
+
+inline std::string demangle(const char* name) {
+#if defined(__GNUG__)
+  int status = 0;
+  char* d = abi::__cxa_demangle(name, nullptr, nullptr, &status);
+  if (d != nullptr) {
+    std::string s = status == 0 ? d : name;
+    std::free(d);
+    return s;
+  }
+#endif
+  return name;
+}
+
+}  // namespace detail
+
 class ThreadedFlow {
  public:
+  struct RunOptions {
+    /// Abort the run when *no channel delivers anything* for this long.
+    /// Zero disables the watchdog.
+    std::chrono::milliseconds watchdog_timeout{std::chrono::seconds(20)};
+    std::chrono::milliseconds watchdog_poll{50};
+    /// After a node failure is recorded, abort the run once deliveries
+    /// stop for this long. fail_downstream() lets the healthy suffix
+    /// drain (that is the progress this grace period watches); whatever
+    /// still runs when deliveries cease is waiting on the dead node
+    /// forever — e.g. a loop head whose barrier marker can never return
+    /// through the dead loop interior. Zero disables the fast teardown
+    /// (the regular watchdog still applies).
+    std::chrono::milliseconds failure_drain{500};
+  };
+
   template <typename Node, typename... Args>
   Node& add(Args&&... args) {
     auto node = std::make_unique<Node>(std::forward<Args>(args)...);
     Node& ref = *node;
-    runners_.push_back(std::make_unique<Runner>(std::move(node)));
+    runners_.push_back(std::make_unique<Runner>(
+        std::move(node), runners_.size(),
+        detail::demangle(typeid(Node).name())));
     index_[&ref] = runners_.back().get();
     return ref;
   }
@@ -44,22 +139,102 @@ class ThreadedFlow {
     Runner* producer = index_.at(&from_node);
     Runner* consumer = index_.at(&to_node);
     auto chan = std::make_unique<ThreadedChannel<T>>(
-        to, kind == EdgeKind::kLoop, capacity, producer);
+        this, to, kind == EdgeKind::kLoop, capacity, producer, consumer,
+        channels_.size());
     from.subscribe(chan.get());
     producer->has_outputs = true;
     consumer->inputs.push_back(chan.get());
     channels_.push_back(std::move(chan));
   }
 
+  std::size_t node_count() const { return runners_.size(); }
+  std::size_t edge_count() const { return channels_.size(); }
+
+  /// Indexes (connect order) of the feedback-loop edges; what a chaos test
+  /// needs to aim a fault at a loop without hardcoding wiring order.
+  std::vector<std::size_t> loop_edges() const {
+    std::vector<std::size_t> v;
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      if (channels_[i]->loop_edge()) v.push_back(i);
+    }
+    return v;
+  }
+
+  /// Binds every node to `store` under its add()-order index (stable
+  /// across rebuilds of the same builder), and tells the store how many
+  /// records make a checkpoint complete.
+  void enable_checkpoints(CheckpointStore& store) {
+    store.set_expected_nodes(runners_.size());
+    for (std::size_t i = 0; i < runners_.size(); ++i) {
+      runners_[i]->node->bind_recovery(&store, i);
+    }
+  }
+
+  /// Restores every node from the latest *complete* checkpoint in `store`.
+  /// Must be called before run(). Returns the restored checkpoint id, or
+  /// nullopt when the store has no complete checkpoint (the flow then
+  /// starts from scratch — sources replay everything).
+  std::optional<std::uint64_t> restore_latest(const CheckpointStore& store) {
+    const std::optional<std::uint64_t> id = store.latest_complete();
+    if (!id) return std::nullopt;
+    for (std::size_t i = 0; i < runners_.size(); ++i) {
+      if (std::optional<CheckpointStore::Bytes> bytes = store.find(i, *id)) {
+        SnapshotReader r(*bytes);
+        runners_[i]->node->restore_from(r);
+      }
+    }
+    return id;
+  }
+
+  /// Arms every channel with the injector's schedule. The injector is
+  /// materialized against this flow's edge list (connect order — stable
+  /// across rebuilds) on first call.
+  void install_faults(FaultInjector& injector) {
+    std::vector<EdgeInfo> edges;
+    edges.reserve(channels_.size());
+    for (const auto& ch : channels_) edges.push_back({ch->loop_edge()});
+    injector.materialize(edges);
+    for (auto& ch : channels_) ch->set_faults(&injector);
+  }
+
   /// Runs every node on its own thread; returns when the whole graph
-  /// completed (every thread exited).
-  void run() {
+  /// completed. Throws FlowError if a node failed or the watchdog tripped.
+  void run() { run(RunOptions{}); }
+
+  void run(RunOptions opts) {
+    abort_.store(false, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(fail_mu_);
+      failures_.clear();
+      watchdog_report_.clear();
+    }
+    dog_stop_ = false;
+
     std::vector<std::thread> threads;
     threads.reserve(runners_.size());
     for (auto& r : runners_) {
-      threads.emplace_back([raw = r.get()] { raw->run(); });
+      threads.emplace_back([this, raw = r.get()] { raw->run(this); });
+    }
+    std::thread dog;
+    if (opts.watchdog_timeout.count() > 0 || opts.failure_drain.count() > 0) {
+      dog = std::thread([this, opts] { watchdog(opts); });
     }
     for (auto& t : threads) t.join();
+    if (dog.joinable()) {
+      {
+        std::lock_guard<std::mutex> lk(dog_mu_);
+        dog_stop_ = true;
+      }
+      dog_cv_.notify_all();
+      dog.join();
+    }
+
+    std::lock_guard<std::mutex> lk(fail_mu_);
+    if (!watchdog_report_.empty()) throw FlowError(watchdog_report_);
+    if (!failures_.empty()) {
+      const Failure& f = failures_.front();
+      throw FlowError(f.node_index, f.node_name, f.what);
+    }
   }
 
   static constexpr std::size_t kDefaultCapacity = 1024;
@@ -67,67 +242,136 @@ class ThreadedFlow {
  private:
   struct Runner;
 
+  struct Failure {
+    std::size_t node_index;
+    std::string node_name;
+    std::string what;
+  };
+
   class ChannelBase {
    public:
     virtual ~ChannelBase() = default;
     /// Delivers one element if available; returns whether it did.
     virtual bool deliver_one() = 0;
     virtual bool delivered_end() const = 0;
+    virtual bool loop_edge() const = 0;
+    virtual void set_faults(FaultInjector* injector) = 0;
+    // Watchdog diagnostics (cross-thread reads).
+    virtual std::size_t depth() = 0;
+    virtual std::uint64_t delivered_count() const = 0;
+    virtual bool held() const = 0;
+    virtual std::size_t producer_index() const = 0;
+    virtual std::size_t consumer_index() const = 0;
   };
 
   struct Runner {
-    explicit Runner(std::unique_ptr<NodeBase> n) : node(std::move(n)) {}
+    Runner(std::unique_ptr<NodeBase> n, std::size_t idx, std::string nm)
+        : node(std::move(n)), index(idx), name(std::move(nm)) {}
 
-    void run() {
-      node->pump();
-      for (;;) {
-        bool any = false;
-        bool all_ended = !inputs.empty();
-        for (ChannelBase* ch : inputs) {
-          any |= ch->deliver_one();
-          all_ended &= ch->delivered_end();
+    void run(ThreadedFlow* flow) {
+      try {
+        node->pump();
+        for (;;) {
+          if (flow->abort_.load(std::memory_order_relaxed)) {
+            throw detail::FlowAborted{};
+          }
+          bool any = false;
+          bool all_ended = !inputs.empty();
+          for (ChannelBase* ch : inputs) {
+            any |= ch->deliver_one();
+            all_ended &= ch->delivered_end();
+          }
+          if (has_outputs) {
+            if (emitted_end.load(std::memory_order_acquire)) break;
+            // Source-only nodes (no inputs) that never emit End would spin
+            // forever; treat pump() completion without End as done.
+            if (inputs.empty() && !any) break;
+          } else if (all_ended) {
+            break;
+          }
+          if (!any) std::this_thread::yield();
         }
-        if (has_outputs) {
-          if (emitted_end.load(std::memory_order_acquire)) return;
-          // Source-only nodes (no inputs) that never emit End would spin
-          // forever; treat pump() completion without End as done.
-          if (inputs.empty() && !any) return;
-        } else if (all_ended) {
-          return;
+      } catch (const detail::FlowAborted&) {
+        // Watchdog teardown: exit quietly; every runner does the same.
+      } catch (const std::exception& ex) {
+        flow->record_failure(index, name, ex.what());
+        try {
+          node->fail_downstream();
+        } catch (...) {
         }
-        if (!any) std::this_thread::yield();
+      } catch (...) {
+        flow->record_failure(index, name, "unknown exception");
+        try {
+          node->fail_downstream();
+        } catch (...) {
+        }
       }
+      exited.store(true, std::memory_order_release);
     }
 
     std::unique_ptr<NodeBase> node;
+    std::size_t index;
+    std::string name;
     std::vector<ChannelBase*> inputs;
     bool has_outputs{false};
     std::atomic<bool> emitted_end{false};
+    std::atomic<bool> exited{false};
   };
 
   template <typename T>
   class ThreadedChannel final : public Channel<T>, public ChannelBase {
    public:
-    ThreadedChannel(Consumer<T>& target, bool loop, std::size_t capacity,
-                    Runner* producer)
-        : target_(target), loop_(loop), queue_(capacity),
-          producer_(producer) {}
+    ThreadedChannel(ThreadedFlow* flow, Consumer<T>& target, bool loop,
+                    std::size_t capacity, Runner* producer, Runner* consumer,
+                    std::size_t edge_id)
+        : flow_(flow),
+          target_(target),
+          loop_(loop),
+          queue_(capacity),
+          producer_(producer),
+          consumer_(consumer),
+          edge_id_(edge_id) {}
 
     void push(const Element<T>& e) override {
       if (is_end(e)) {
         producer_->emitted_end.store(true, std::memory_order_release);
       }
       if (loop_) {
+        if (flow_->abort_.load(std::memory_order_relaxed)) {
+          throw detail::FlowAborted{};
+        }
+        if (consumer_->exited.load(std::memory_order_acquire)) return;
         std::lock_guard<std::mutex> lk(mu_);
         overflow_.push_back(e);
       } else {
-        queue_.push(e);
+        while (!queue_.try_push(e)) {
+          if (flow_->abort_.load(std::memory_order_relaxed)) {
+            throw detail::FlowAborted{};
+          }
+          // A dead consumer never drains its queue; dropping instead of
+          // blocking lets the producer finish and the graph wind down.
+          if (consumer_->exited.load(std::memory_order_acquire)) return;
+          std::this_thread::yield();
+        }
       }
     }
 
     bool loop() const override { return loop_; }
+    bool loop_edge() const override { return loop_; }
+
+    void set_faults(FaultInjector* injector) override { faults_ = injector; }
 
     bool deliver_one() override {
+      if (held_.load(std::memory_order_relaxed)) {
+        // Barrier alignment: paused until the consumer completes the
+        // barrier this channel delivered (a loop head completes only once
+        // the marker returns around the feedback edge, which keeps
+        // delivering through a *different* channel of this node).
+        if (consumer_->node->completed_barriers() < resume_when_) {
+          return false;
+        }
+        held_.store(false, std::memory_order_relaxed);
+      }
       Element<T> e;
       if (loop_) {
         std::lock_guard<std::mutex> lk(mu_);
@@ -138,7 +382,18 @@ class ThreadedFlow {
         return false;
       }
       if (is_end(e)) ended_.store(true, std::memory_order_release);
+      const std::uint64_t d =
+          delivered_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (faults_ != nullptr) apply_fault(e, d);
+      const bool marker = is_marker(e);
+      const std::uint64_t before =
+          marker ? consumer_->node->completed_barriers() : 0;
       target_.receive(e);
+      if (marker && !loop_ &&
+          consumer_->node->completed_barriers() == before) {
+        resume_when_ = before + 1;
+        held_.store(true, std::memory_order_relaxed);
+      }
       return true;
     }
 
@@ -146,19 +401,169 @@ class ThreadedFlow {
       return ended_.load(std::memory_order_acquire);
     }
 
+    std::size_t depth() override {
+      if (loop_) {
+        std::lock_guard<std::mutex> lk(mu_);
+        return overflow_.size();
+      }
+      return queue_.size();
+    }
+    std::uint64_t delivered_count() const override {
+      return delivered_.load(std::memory_order_relaxed);
+    }
+    bool held() const override {
+      return held_.load(std::memory_order_relaxed);
+    }
+    std::size_t producer_index() const override { return producer_->index; }
+    std::size_t consumer_index() const override { return consumer_->index; }
+
    private:
+    /// Runs in the consumer thread, between pop and receive. Crash-style
+    /// faults throw CrashInjected, which the runner records as this node's
+    /// failure.
+    void apply_fault(const Element<T>& e, std::uint64_t delivery) {
+      const FaultEvent* ev = faults_->on_delivery(edge_id_, delivery);
+      if (ev == nullptr) return;
+      switch (ev->kind) {
+        case FaultKind::kCrash:
+          throw CrashInjected("edge " + std::to_string(edge_id_) +
+                              " delivery " + std::to_string(delivery));
+        case FaultKind::kStall:
+        case FaultKind::kDelay:
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(ev->param_ms));
+          return;
+        case FaultKind::kDropCrash:
+          // Element discarded; the link dies with it so the rewind
+          // re-emits the dropped element (at-least-once healing).
+          throw CrashInjected("drop on edge " + std::to_string(edge_id_) +
+                              " delivery " + std::to_string(delivery));
+        case FaultKind::kDupCrash:
+          // Only data tuples duplicate (a retransmitted packet); control
+          // elements don't — a doubled marker would double-align a
+          // multi-input node and persist an inconsistent snapshot before
+          // the crash lands.
+          if (is_tuple(e)) {
+            target_.receive(e);  // the element, delivered twice...
+            target_.receive(e);
+          }
+          // ...then the link dies; restore wipes the double-counted state.
+          throw CrashInjected("dup on edge " + std::to_string(edge_id_) +
+                              " delivery " + std::to_string(delivery));
+      }
+    }
+
+    ThreadedFlow* flow_;
     Consumer<T>& target_;
     bool loop_;
     SpscQueue<Element<T>> queue_;
     std::mutex mu_;
     std::deque<Element<T>> overflow_;
     Runner* producer_;
+    Runner* consumer_;
+    std::size_t edge_id_;
+    FaultInjector* faults_{nullptr};
     std::atomic<bool> ended_{false};
+    std::atomic<std::uint64_t> delivered_{0};
+    std::atomic<bool> held_{false};
+    std::uint64_t resume_when_{0};  // consumer-thread only
   };
+
+  void record_failure(std::size_t node_index, const std::string& name,
+                      const std::string& what) {
+    std::lock_guard<std::mutex> lk(fail_mu_);
+    failures_.push_back({node_index, name, what});
+  }
+
+  bool has_failure() {
+    std::lock_guard<std::mutex> lk(fail_mu_);
+    return !failures_.empty();
+  }
+
+  std::uint64_t total_deliveries() const {
+    std::uint64_t n = 0;
+    for (const auto& ch : channels_) n += ch->delivered_count();
+    return n;
+  }
+
+  /// Per-node watermark positions and per-edge queue depths: the state a
+  /// human needs to see *which* edge wedged and *whose* watermark stopped.
+  std::string diagnostic() {
+    std::ostringstream os;
+    os << "nodes:\n";
+    for (const auto& r : runners_) {
+      os << "  [" << r->index << "] " << r->name
+         << " watermark=" << r->node->node_watermark()
+         << " barriers=" << r->node->completed_barriers()
+         << (r->exited.load(std::memory_order_acquire) ? " exited" : "")
+         << (r->emitted_end.load(std::memory_order_acquire) ? " ended" : "")
+         << "\n";
+    }
+    os << "edges:\n";
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      ChannelBase& ch = *channels_[i];
+      os << "  [" << i << "] " << ch.producer_index() << "->"
+         << ch.consumer_index() << " depth=" << ch.depth()
+         << " delivered=" << ch.delivered_count()
+         << (ch.held() ? " HELD" : "") << (ch.loop_edge() ? " loop" : "")
+         << "\n";
+    }
+    return os.str();
+  }
+
+  void watchdog(RunOptions opts) {
+    std::unique_lock<std::mutex> lk(dog_mu_);
+    std::uint64_t last = total_deliveries();
+    auto last_change = std::chrono::steady_clock::now();
+    while (!dog_stop_) {
+      dog_cv_.wait_for(lk, opts.watchdog_poll);
+      if (dog_stop_) return;
+      const std::uint64_t now_count = total_deliveries();
+      const auto now = std::chrono::steady_clock::now();
+      if (now_count != last) {
+        last = now_count;
+        last_change = now;
+        continue;
+      }
+      // Fast teardown after a node failure: the drain triggered by
+      // fail_downstream has gone quiet, so the survivors are wedged on the
+      // dead node. Abort without a watchdog report — run() surfaces the
+      // recorded node failure itself.
+      if (opts.failure_drain.count() > 0 &&
+          now - last_change >= opts.failure_drain && has_failure()) {
+        abort_.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (opts.watchdog_timeout.count() > 0 &&
+          now - last_change >= opts.watchdog_timeout) {
+        std::ostringstream os;
+        os << "watchdog: no delivery progress for "
+           << std::chrono::duration_cast<std::chrono::milliseconds>(
+                  now - last_change)
+                  .count()
+           << "ms; aborting\n"
+           << diagnostic();
+        {
+          std::lock_guard<std::mutex> flk(fail_mu_);
+          watchdog_report_ = os.str();
+        }
+        abort_.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
 
   std::vector<std::unique_ptr<Runner>> runners_;
   std::vector<std::unique_ptr<ChannelBase>> channels_;
   std::unordered_map<const NodeBase*, Runner*> index_;
+
+  std::atomic<bool> abort_{false};
+  std::mutex fail_mu_;
+  std::vector<Failure> failures_;
+  std::string watchdog_report_;
+  std::mutex dog_mu_;
+  std::condition_variable dog_cv_;
+  bool dog_stop_{false};
 };
 
 }  // namespace aggspes

@@ -54,9 +54,24 @@ struct EndOfStream {
   friend bool operator==(const EndOfStream&, const EndOfStream&) = default;
 };
 
+/// Aligned checkpoint barrier (recovery subsystem). Sources inject markers
+/// between elements; each operator snapshots its state once it has seen
+/// marker `id` on every live regular input and then forwards it, so the
+/// per-channel cut is consistent (FIFO channels carry no pre-marker data
+/// past the marker). Unlike watermarks, markers DO traverse loop edges:
+/// the loop head stages its snapshot when the marker arrives and records
+/// in-flight feedback tuples until the marker returns around the cycle
+/// (Chandy-Lamport channel recording), so cyclic graphs checkpoint without
+/// waiting for the loop to quiesce.
+struct CheckpointMarker {
+  std::uint64_t id{0};
+  friend bool operator==(const CheckpointMarker&,
+                         const CheckpointMarker&) = default;
+};
+
 /// One element of a physical stream.
 template <typename P>
-using Element = std::variant<Tuple<P>, Watermark, EndOfStream>;
+using Element = std::variant<Tuple<P>, Watermark, EndOfStream, CheckpointMarker>;
 
 template <typename P>
 bool is_tuple(const Element<P>& e) {
@@ -71,6 +86,11 @@ bool is_watermark(const Element<P>& e) {
 template <typename P>
 bool is_end(const Element<P>& e) {
   return std::holds_alternative<EndOfStream>(e);
+}
+
+template <typename P>
+bool is_marker(const Element<P>& e) {
+  return std::holds_alternative<CheckpointMarker>(e);
 }
 
 }  // namespace aggspes

@@ -6,8 +6,10 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
+#include "core/recovery/snapshot.hpp"
 #include "core/types.hpp"
 
 namespace aggspes {
@@ -31,24 +33,43 @@ class WatermarkCombiner {
     if (ts <= slot) return false;
     slot = ts;
     Timestamp combined = *std::min_element(latest_.begin(), latest_.end());
-    if (combined > combined_) {
-      combined_ = combined;
+    if (combined > current()) {
+      combined_.store(combined, std::memory_order_relaxed);
       return true;
     }
     return false;
   }
 
-  /// The operator's current watermark W_O^ω.
-  Timestamp current() const { return combined_; }
+  /// The operator's current watermark W_O^ω. (Atomically readable so the
+  /// runtime watchdog can report watermark positions from its own thread.)
+  Timestamp current() const {
+    return combined_.load(std::memory_order_relaxed);
+  }
 
   /// Latest watermark seen on one port.
   Timestamp port_watermark(int port) const {
     return latest_[static_cast<std::size_t>(port)];
   }
 
+  /// Checkpoint support: per-port positions plus the combined value.
+  void save(SnapshotWriter& w) const {
+    w.write_size(latest_.size());
+    for (Timestamp t : latest_) w.write_i64(t);
+    w.write_i64(current());
+  }
+
+  void load(SnapshotReader& r) {
+    const std::size_t n = r.read_size();
+    if (n != latest_.size()) {
+      throw SnapshotError("watermark combiner port count mismatch");
+    }
+    for (auto& slot : latest_) slot = r.read_i64();
+    combined_.store(r.read_i64(), std::memory_order_relaxed);
+  }
+
  private:
   std::vector<Timestamp> latest_;
-  Timestamp combined_{kMinTimestamp};
+  std::atomic<Timestamp> combined_{kMinTimestamp};
 };
 
 }  // namespace aggspes

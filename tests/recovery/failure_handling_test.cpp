@@ -1,0 +1,199 @@
+// Failure-path tests for the threaded runtime's robustness layer: operator
+// exceptions surface as FlowError naming the failed node (while the healthy
+// suffix of the graph drains), the watchdog converts a wedged graph into a
+// diagnostic abort, and the fault injector's schedule is a pure function of
+// its seed and the edge list.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/operators/operator_base.hpp"
+#include "core/operators/sink.hpp"
+#include "core/operators/source.hpp"
+#include "core/recovery/fault_injection.hpp"
+#include "core/runtime/threaded_runtime.hpp"
+
+namespace aggspes {
+namespace {
+
+std::vector<Tuple<int>> int_tuples(int n) {
+  std::vector<Tuple<int>> v;
+  for (int i = 0; i < n; ++i) v.push_back({i * 2, 0, i});
+  return v;
+}
+
+/// Forwards its input until the `fail_at`-th tuple, then throws.
+class ThrowingOp final : public UnaryNode<int, int> {
+ public:
+  explicit ThrowingOp(int fail_at)
+      : UnaryNode<int, int>(1, 0), fail_at_(fail_at) {}
+
+ protected:
+  void on_tuple(int, const Tuple<int>& t) override {
+    if (++seen_ == fail_at_) {
+      throw std::runtime_error("synthetic operator failure");
+    }
+    out_.push(Element<int>{t});
+  }
+
+ private:
+  int fail_at_;
+  int seen_{0};
+};
+
+TEST(FailureHandling, OperatorExceptionBecomesFlowErrorNamingTheNode) {
+  ThreadedFlow tf;
+  auto& src = tf.add<TimedSource<int>>(int_tuples(40), 10, 100);
+  auto& op = tf.add<ThrowingOp>(7);
+  auto& sink = tf.add<CollectorSink<int>>();
+  tf.connect(src, src.out(), op, op.in());
+  tf.connect(op, op.out(), sink, sink.in());
+
+  try {
+    tf.run();
+    FAIL() << "expected FlowError";
+  } catch (const FlowError& e) {
+    EXPECT_EQ(e.node_index(), 1u);
+    EXPECT_NE(e.node_name().find("ThrowingOp"), std::string::npos)
+        << e.node_name();
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ThrowingOp"), std::string::npos) << what;
+    EXPECT_NE(what.find("synthetic operator failure"), std::string::npos)
+        << what;
+  }
+  // fail_downstream pushed EndOfStream past the dead node, so the sink
+  // drained instead of hanging: it saw exactly the pre-failure prefix.
+  EXPECT_TRUE(sink.ended());
+  EXPECT_EQ(sink.tuples().size(), 6u);
+}
+
+/// Sleeps well past the watchdog timeout on its first tuple — from the
+/// watchdog's viewpoint the graph makes no delivery progress.
+class SleepyOp final : public UnaryNode<int, int> {
+ public:
+  SleepyOp() : UnaryNode<int, int>(1, 0) {}
+
+ protected:
+  void on_tuple(int, const Tuple<int>& t) override {
+    if (!slept_) {
+      slept_ = true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    }
+    out_.push(Element<int>{t});
+  }
+
+ private:
+  bool slept_{false};
+};
+
+TEST(FailureHandling, WatchdogDumpsQueueDepthsAndWatermarksOnNoProgress) {
+  ThreadedFlow tf;
+  auto& src = tf.add<TimedSource<int>>(int_tuples(20), 10, 60);
+  auto& op = tf.add<SleepyOp>();
+  auto& sink = tf.add<CollectorSink<int>>();
+  tf.connect(src, src.out(), op, op.in());
+  tf.connect(op, op.out(), sink, sink.in());
+
+  ThreadedFlow::RunOptions opts;
+  opts.watchdog_timeout = std::chrono::milliseconds(250);
+  opts.watchdog_poll = std::chrono::milliseconds(25);
+  try {
+    tf.run(opts);
+    FAIL() << "expected watchdog FlowError";
+  } catch (const FlowError& e) {
+    EXPECT_EQ(e.node_index(), FlowError::kNoNode);
+    EXPECT_EQ(e.node_name(), "flow");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("watchdog"), std::string::npos) << what;
+    // The diagnostic names every node (with watermark position) and every
+    // edge (with queue depth) so a human can see where the graph wedged.
+    EXPECT_NE(what.find("nodes:"), std::string::npos) << what;
+    EXPECT_NE(what.find("watermark="), std::string::npos) << what;
+    EXPECT_NE(what.find("edges:"), std::string::npos) << what;
+    EXPECT_NE(what.find("depth="), std::string::npos) << what;
+  }
+}
+
+void expect_same_schedule(const FaultInjector& a, const FaultInjector& b) {
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    const FaultEvent& x = a.events()[i];
+    const FaultEvent& y = b.events()[i];
+    EXPECT_EQ(x.kind, y.kind) << "event " << i;
+    EXPECT_EQ(x.attempt, y.attempt) << "event " << i;
+    EXPECT_EQ(x.edge, y.edge) << "event " << i;
+    EXPECT_EQ(x.at_delivery, y.at_delivery) << "event " << i;
+    EXPECT_EQ(x.param_ms, y.param_ms) << "event " << i;
+  }
+}
+
+const std::vector<EdgeInfo> kEdges{{false}, {false}, {true}, {false},
+                                   {false}};
+
+TEST(FaultInjection, SameSeedSameEdgesSameSchedule) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    FaultInjector a(seed);
+    FaultInjector b(seed);
+    a.materialize(kEdges);
+    b.materialize(kEdges);
+    ASSERT_FALSE(a.events().empty()) << "seed " << seed;
+    expect_same_schedule(a, b);
+  }
+}
+
+TEST(FaultInjection, MaterializeIsIdempotent) {
+  FaultInjector a(99);
+  a.materialize(kEdges);
+  const std::size_t n = a.events().size();
+  ASSERT_GT(n, 0u);
+  a.materialize(kEdges);
+  EXPECT_EQ(a.events().size(), n);
+}
+
+TEST(FaultInjection, ExplicitScheduleSuppressesSeedDerivation) {
+  FaultInjector a(5);
+  a.add_event({FaultKind::kCrash, 0, 2, 5, 0});
+  a.materialize(kEdges);
+  ASSERT_EQ(a.events().size(), 1u);
+  EXPECT_EQ(a.events()[0].edge, 2u);
+  EXPECT_EQ(a.events()[0].at_delivery, 5u);
+}
+
+TEST(FaultInjection, OnDeliveryMatchesAttemptEdgeAndCountExactly) {
+  FaultInjector a(0);
+  a.add_event({FaultKind::kCrash, 1, 0, 5, 0});
+  a.materialize(kEdges);
+  a.begin_attempt(0);
+  EXPECT_EQ(a.on_delivery(0, 5), nullptr) << "wrong attempt";
+  a.begin_attempt(1);
+  EXPECT_EQ(a.on_delivery(0, 4), nullptr) << "wrong delivery";
+  EXPECT_EQ(a.on_delivery(1, 5), nullptr) << "wrong edge";
+  const FaultEvent* hit = a.on_delivery(0, 5);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->kind, FaultKind::kCrash);
+}
+
+// Transport faults (stall/delay/drop/dup) stay off feedback edges; only
+// plain crashes may target a loop (mid-unfold recovery). Sweep enough
+// seeds to hit every kind.
+TEST(FaultInjection, TransportFaultsAvoidLoopEdges) {
+  const std::vector<EdgeInfo> edges{{false}, {true}, {false}};
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    FaultInjector f(seed);
+    f.materialize(edges);
+    for (const FaultEvent& ev : f.events()) {
+      if (ev.kind != FaultKind::kCrash) {
+        EXPECT_NE(ev.edge, 1u)
+            << fault_kind_name(ev.kind) << " on loop edge, seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aggspes
