@@ -1,0 +1,153 @@
+// Micro-benchmarks (google-benchmark) of the window backends, the bench
+// half of the shared sliding-window aggregation subsystem's acceptance
+// criterion: at overlap WS/WA = 32, sliced + incremental must beat the
+// buffering WindowMachine by ≥ 5× on an associative aggregation
+// (bench/run_micro.sh computes the speedup into BENCH_swa.json).
+//
+// All machine benchmarks drive the identical workload: sum aggregation,
+// 8 keys, WA = 16, one tuple per tick, watermark advance every WA ticks,
+// overlap ratio WS/WA ∈ {1, 4, 32} as the benchmark argument. The
+// operator-level pair runs the same comparison through a full Flow.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/operators/aggregate.hpp"
+#include "core/operators/sink.hpp"
+#include "core/operators/source.hpp"
+#include "core/operators/window_machine.hpp"
+#include "core/swa/backends.hpp"
+#include "core/swa/monoid_aggregate.hpp"
+
+namespace {
+
+using namespace aggspes;
+
+constexpr Timestamp kWA = 16;
+constexpr int kKeys = 8;
+
+// Drives machine.add every tick and machine.advance every WA ticks, the
+// same discipline the Aggregate operators use. Items processed = ticks.
+template <typename Machine, typename MakeMachine>
+void run_machine(benchmark::State& state, MakeMachine&& make) {
+  const Timestamp ws = kWA * state.range(0);
+  Machine machine = make(WindowSpec{.advance = kWA, .size = ws});
+  std::uint64_t fired = 0;
+  long sunk = 0;
+  typename Machine::FireFn fire =
+      [&](Timestamp, const int&, const typename Machine::Result& r, bool) {
+        ++fired;
+        if constexpr (requires { r.agg; }) {
+          sunk += r.agg;
+        } else {
+          sunk += static_cast<long>(r.size());
+        }
+      };
+  Timestamp ts = 0;
+  Timestamp wm = kMinTimestamp;
+  for (auto _ : state) {
+    machine.add(Tuple<int>{ts, 0, static_cast<int>(ts)}, wm, fire);
+    ++ts;
+    if (ts % kWA == 0) {
+      machine.advance(ts, fire);
+      wm = ts;
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+  benchmark::DoNotOptimize(sunk);
+  state.SetItemsProcessed(state.iterations());
+}
+
+// WindowMachine::FireFn/Result shim: its fire payload is the items vector.
+template <typename In, typename Key>
+struct BufferingMachine : WindowMachine<In, Key> {
+  using Result = std::vector<Tuple<In>>;
+  using WindowMachine<In, Key>::WindowMachine;
+};
+
+void BM_Buffering_Sum(benchmark::State& state) {
+  run_machine<BufferingMachine<int, int>>(state, [](WindowSpec spec) {
+    return BufferingMachine<int, int>(spec,
+                                      [](const int& v) { return v % kKeys; });
+  });
+}
+BENCHMARK(BM_Buffering_Sum)->Arg(1)->Arg(4)->Arg(32);
+
+void BM_SlicedReplay_Sum(benchmark::State& state) {
+  run_machine<swa::SlicedWindowMachine<int, int>>(state, [](WindowSpec spec) {
+    return swa::SlicedWindowMachine<int, int>(
+        spec, [](const int& v) { return v % kKeys; });
+  });
+}
+BENCHMARK(BM_SlicedReplay_Sum)->Arg(1)->Arg(4)->Arg(32);
+
+void BM_MonoidIncremental_Sum(benchmark::State& state) {
+  using M = swa::MonoidWindowMachine<int, long, int>;
+  run_machine<M>(state, [](WindowSpec spec) {
+    return M(spec, [](const int& v) { return v % kKeys; },
+             swa::MonoidPolicy<int, long, int>(swa::Monoid<int, long>{
+                 0, [](const int& v) { return long{v}; },
+                 [](const long& a, const long& b) { return a + b; }}));
+  });
+}
+BENCHMARK(BM_MonoidIncremental_Sum)->Arg(1)->Arg(4)->Arg(32);
+
+// --- Operator level: the same sum through a full Flow at ratio 32 -------
+
+std::vector<Tuple<int>> flow_input(int n) {
+  std::vector<Tuple<int>> v;
+  v.reserve(n);
+  for (int i = 0; i < n; ++i) v.push_back({i, 0, i});
+  return v;
+}
+
+template <typename MakeAgg>
+void run_flow(benchmark::State& state, MakeAgg&& make_agg) {
+  const int n = 1 << 15;
+  const auto in = flow_input(n);
+  for (auto _ : state) {
+    Flow flow;
+    auto& src = flow.add<TimedSource<int>>(in, kWA, n + kWA * 33);
+    auto& agg = make_agg(flow);
+    auto& sink = flow.add<CollectorSink<long>>();
+    flow.connect(src.out(), agg.in());
+    flow.connect(agg.out(), sink.in());
+    flow.run();
+    benchmark::DoNotOptimize(sink.tuples().size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_FlowAggregate_Buffering(benchmark::State& state) {
+  run_flow(state, [](Flow& flow) -> auto& {
+    return flow.add<AggregateOp<int, long, int>>(
+        WindowSpec{.advance = kWA, .size = kWA * 32},
+        [](const int& v) { return v % kKeys; },
+        [](const WindowView<int, int>& w) -> std::optional<long> {
+          long s = 0;
+          for (const auto& t : w.items) s += t.value;
+          return s;
+        });
+  });
+}
+BENCHMARK(BM_FlowAggregate_Buffering);
+
+void BM_FlowAggregate_Monoid(benchmark::State& state) {
+  run_flow(state, [](Flow& flow) -> auto& {
+    return flow.add<swa::MonoidAggregateOp<int, long, int, long>>(
+        WindowSpec{.advance = kWA, .size = kWA * 32},
+        [](const int& v) { return v % kKeys; },
+        swa::Monoid<int, long>{0, [](const int& v) { return long{v}; },
+                               [](const long& a, const long& b) {
+                                 return a + b;
+                               }},
+        [](const int&, const swa::WindowAggregate<long>& wa)
+            -> std::optional<long> { return wa.agg; });
+  });
+}
+BENCHMARK(BM_FlowAggregate_Monoid);
+
+}  // namespace
+
+BENCHMARK_MAIN();

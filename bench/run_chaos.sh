@@ -16,7 +16,7 @@ RUNS="${RUNS:-3}"
 
 cmake -B "$BUILD" -S "$ROOT" -DAGGSPES_SANITIZE="$SANITIZE" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD" -j"$(nproc)" --target chaos_test
+cmake --build "$BUILD" -j"$(nproc)" --target chaos_test swa_chaos_test
 
 for i in $(seq 1 "$RUNS"); do
   echo "=== chaos sweep $i/$RUNS (sanitize=$SANITIZE) ==="

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Micro-benchmark sweep: run bench_micro_core and bench_swa in JSON mode
+# and merge both into BENCH_swa.json at the repo root, with the window
+# backend speedups (buffering vs sliced-replay vs monoid-incremental at
+# each WS/WA overlap ratio) computed up front. The swa subsystem's
+# acceptance bar is monoid_vs_buffering >= 5.0 at ratio 32.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="${OUT:-$ROOT/BENCH_swa.json}"
+MIN_TIME="${MIN_TIME:-0.3}"
+
+if [[ ! -x "$BUILD/bench/bench_swa" ]]; then
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j"$(nproc)" --target bench_swa bench_micro_core
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+"$BUILD/bench/bench_swa" --benchmark_format=json \
+    --benchmark_min_time="$MIN_TIME" >"$tmp/swa.json"
+"$BUILD/bench/bench_micro_core" --benchmark_format=json \
+    --benchmark_min_time="$MIN_TIME" >"$tmp/micro.json"
+
+jq -s '
+  def cpu($f; $name):
+    $f.benchmarks[] | select(.name == $name) | .cpu_time;
+  . as [$swa, $micro] |
+  {
+    speedup_vs_buffering: (
+      [32, 4, 1] | map({
+        key: ("ratio_" + tostring),
+        value: {
+          sliced_replay: ((cpu($swa; "BM_Buffering_Sum/\(.)") /
+                           cpu($swa; "BM_SlicedReplay_Sum/\(.)")) * 100
+                          | round / 100),
+          monoid_incremental: ((cpu($swa; "BM_Buffering_Sum/\(.)") /
+                                cpu($swa; "BM_MonoidIncremental_Sum/\(.)"))
+                               * 100 | round / 100)
+        }
+      }) | from_entries
+    ),
+    flow_speedup_monoid_vs_buffering:
+      ((cpu($swa; "BM_FlowAggregate_Buffering") /
+        cpu($swa; "BM_FlowAggregate_Monoid")) * 100 | round / 100),
+    bench_swa: $swa,
+    bench_micro_core: $micro
+  }' "$tmp/swa.json" "$tmp/micro.json" >"$OUT"
+
+echo "wrote $OUT"
+jq '{speedup_vs_buffering, flow_speedup_monoid_vs_buffering}' "$OUT"

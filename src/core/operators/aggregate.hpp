@@ -21,10 +21,15 @@
 
 namespace aggspes {
 
-template <typename In, typename Out, typename Key>
+/// Backend selects the window state machine per operator: the default
+/// buffering WindowMachine, or swa::SlicedWindowMachine for single-copy
+/// pane storage (see core/swa/backends.hpp). Any Backend must expose the
+/// WindowMachine interface with vector-of-tuples fire payloads.
+template <typename In, typename Out, typename Key,
+          typename Backend = WindowMachine<In, Key>>
 class AggregateOp final : public UnaryNode<In, Out> {
  public:
-  using KeyFn = typename WindowMachine<In, Key>::KeyFn;
+  using KeyFn = typename Backend::KeyFn;
   /// f_O: returns the output's payload, or nullopt (∅) for no output.
   using AggFn = std::function<std::optional<Out>(const WindowView<In, Key>&)>;
 
@@ -40,7 +45,8 @@ class AggregateOp final : public UnaryNode<In, Out> {
         f_o_(std::move(f_o)),
         flush_on_end_(flush_on_end) {}
 
-  const WindowMachine<In, Key>& machine() const { return machine_; }
+  const Backend& machine() const { return machine_; }
+  Backend& machine() { return machine_; }
 
   /// Recoverable state: watermark positions plus the window machine
   /// (panes, fired flags, counters). Payload/key types without a
@@ -93,10 +99,10 @@ class AggregateOp final : public UnaryNode<In, Out> {
   static constexpr bool kSerializable =
       SnapshotSerializable<In> && SnapshotSerializable<Key>;
 
-  WindowMachine<In, Key> machine_;
+  Backend machine_;
   AggFn f_o_;
   bool flush_on_end_;
-  typename WindowMachine<In, Key>::FireFn fire_ =
+  typename Backend::FireFn fire_ =
       [this](Timestamp l, const Key& k, const std::vector<Tuple<In>>& items,
              bool) { fire(l, k, items); };
 };

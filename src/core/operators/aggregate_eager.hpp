@@ -23,10 +23,13 @@
 
 namespace aggspes {
 
-template <typename In, typename Out, typename Key>
+/// Backend: see AggregateOp — buffering WindowMachine by default,
+/// swa::SlicedWindowMachine via core/swa/backends.hpp.
+template <typename In, typename Out, typename Key,
+          typename Backend = WindowMachine<In, Key>>
 class AggregateEagerOp final : public UnaryNode<In, Out> {
  public:
-  using KeyFn = typename WindowMachine<In, Key>::KeyFn;
+  using KeyFn = typename Backend::KeyFn;
   /// f_I: the window view *includes* the just-arrived tuple as its last
   /// item; outputs are emitted immediately.
   using IncFn = std::function<std::vector<Out>(const WindowView<In, Key>&)>;
@@ -41,7 +44,8 @@ class AggregateEagerOp final : public UnaryNode<In, Out> {
         f_i_(std::move(f_i)),
         f_o_(std::move(f_o)) {}
 
-  const WindowMachine<In, Key>& machine() const { return machine_; }
+  const Backend& machine() const { return machine_; }
+  Backend& machine() { return machine_; }
 
   void snapshot_to(SnapshotWriter& w) const override {
     this->save_base(w);
@@ -97,10 +101,10 @@ class AggregateEagerOp final : public UnaryNode<In, Out> {
   static constexpr bool kSerializable =
       SnapshotSerializable<In> && SnapshotSerializable<Key>;
 
-  WindowMachine<In, Key> machine_;
+  Backend machine_;
   IncFn f_i_;
   FinalFn f_o_;
-  typename WindowMachine<In, Key>::FireFn fire_ =
+  typename Backend::FireFn fire_ =
       [this](Timestamp l, const Key& key,
              const std::vector<Tuple<In>>& items, bool) {
         WindowView<In, Key> view{l, machine_.spec().size, key, items};

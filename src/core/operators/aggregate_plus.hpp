@@ -14,10 +14,13 @@
 
 namespace aggspes {
 
-template <typename In, typename Out, typename Key>
+/// Backend: see AggregateOp — buffering WindowMachine by default,
+/// swa::SlicedWindowMachine via core/swa/backends.hpp.
+template <typename In, typename Out, typename Key,
+          typename Backend = WindowMachine<In, Key>>
 class AggregatePlusOp final : public UnaryNode<In, Out> {
  public:
-  using KeyFn = typename WindowMachine<In, Key>::KeyFn;
+  using KeyFn = typename Backend::KeyFn;
   /// f_O: returns any number of output payloads for the window instance.
   using AggFn = std::function<std::vector<Out>(const WindowView<In, Key>&)>;
 
@@ -27,7 +30,8 @@ class AggregatePlusOp final : public UnaryNode<In, Out> {
         machine_(spec, std::move(f_k)),
         f_o_(std::move(f_o)) {}
 
-  const WindowMachine<In, Key>& machine() const { return machine_; }
+  const Backend& machine() const { return machine_; }
+  Backend& machine() { return machine_; }
 
   void snapshot_to(SnapshotWriter& w) const override {
     this->save_base(w);
@@ -78,9 +82,9 @@ class AggregatePlusOp final : public UnaryNode<In, Out> {
   static constexpr bool kSerializable =
       SnapshotSerializable<In> && SnapshotSerializable<Key>;
 
-  WindowMachine<In, Key> machine_;
+  Backend machine_;
   AggFn f_o_;
-  typename WindowMachine<In, Key>::FireFn fire_ =
+  typename Backend::FireFn fire_ =
       [this](Timestamp l, const Key& k, const std::vector<Tuple<In>>& items,
              bool) { fire(l, k, items); };
 };

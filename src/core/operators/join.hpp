@@ -128,14 +128,13 @@ class JoinOp final : public BinaryNode<L, R, std::pair<L, R>> {
   template <typename Fn>
   void for_each_open_instance(Timestamp ts, Fn&& fn) {
     const Timestamp w = this->watermark();
-    for (Timestamp l = spec_.first_instance(ts);
-         l <= spec_.last_instance(ts); l += spec_.advance) {
+    spec_.for_each_instance(ts, [&](Timestamp l) {
       if (spec_.closes(l, w)) {
         ++dropped_late_;  // instance already discarded (L = 0 for J, § 3)
-        continue;
+        return;
       }
       fn(l);
-    }
+    });
   }
 
   void emit(Timestamp l, const Tuple<L>& a, const Tuple<R>& b) {

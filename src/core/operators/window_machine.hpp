@@ -4,7 +4,6 @@
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <functional>
 #include <map>
 #include <unordered_map>
@@ -12,6 +11,7 @@
 #include <vector>
 
 #include "core/recovery/snapshot.hpp"
+#include "core/swa/late_probe.hpp"
 #include "core/types.hpp"
 #include "core/window.hpp"
 
@@ -55,11 +55,11 @@ class WindowMachine {
   void add(const Tuple<In>& t, Timestamp w, const FireFn& fire,
            const AddedFn& added = {}) {
     Key key = key_fn_(t.value);
-    for (Timestamp l = spec_.first_instance(t.ts);
-         l <= spec_.last_instance(t.ts); l += spec_.advance) {
+    spec_.for_each_instance(t.ts, [&](Timestamp l) {
       if (!spec_.admits(l, w)) {
         ++dropped_late_;
-        continue;
+        if (late_probe_) late_probe_({l, t.ts, w, /*dropped=*/true});
+        return;
       }
       Bucket& b = instances_[l][key];
       b.items.push_back(t);
@@ -69,20 +69,13 @@ class WindowMachine {
         // emit an update right away.
         const bool update = b.fired;
         b.fired = true;
-        if (update) ++late_updates_;
-#ifdef AGGSPES_DEBUG_LATE
-        // Diagnostic for loop debugging: late updates inside an Unfold loop
-        // indicate broken successor accounting upstream.
         if (update) {
-          std::fprintf(stderr,
-                       "[late-update] l=%lld w=%lld t.ts=%lld items=%zu\n",
-                       (long long)l, (long long)w, (long long)t.ts,
-                       b.items.size());
+          ++late_updates_;
+          if (late_probe_) late_probe_({l, t.ts, w, /*dropped=*/false});
         }
-#endif
         fire(l, key, b.items, update);
       }
-    }
+    });
   }
 
   /// Fires every instance that became complete at watermark `w` and purges
@@ -124,6 +117,14 @@ class WindowMachine {
   std::uint64_t late_updates() const { return late_updates_; }
   std::uint64_t fired_instances() const { return fired_instances_; }
   std::size_t open_instances() const { return instances_.size(); }
+
+  /// Installs a rate-limited diagnostic hook for late tuples (drops and
+  /// update re-fires). Replaces the old stderr diagnostic: counters stay
+  /// hot-path-cheap, and the probe sees at most one event per `every`.
+  void set_late_probe(LateProbe::Fn fn, std::uint64_t every = 1024) {
+    late_probe_.set(std::move(fn), every);
+  }
+  const LateProbe& late_probe() const { return late_probe_; }
 
   /// Serializes every open instance — items in arrival order plus the
   /// `fired` flag — and the counters. The fired flag is what makes replay
@@ -180,6 +181,7 @@ class WindowMachine {
   std::uint64_t dropped_late_{0};
   std::uint64_t late_updates_{0};
   std::uint64_t fired_instances_{0};
+  LateProbe late_probe_;
 };
 
 /// Largest wall-clock stamp among a window's items (latency metadata: an

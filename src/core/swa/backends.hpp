@@ -1,0 +1,28 @@
+// Convenience aliases selecting the sliced window backend per operator
+// (DESIGN.md § 9). These keep the buffering family's exact interface —
+// f_O still receives a WindowView with the instance's tuples in arrival
+// order — but store each tuple once (in its pane) instead of once per
+// overlapping instance. For f_O declared as a monoid, prefer the
+// incremental operators in monoid_aggregate.hpp.
+#pragma once
+
+#include "core/operators/aggregate.hpp"
+#include "core/operators/aggregate_eager.hpp"
+#include "core/operators/aggregate_plus.hpp"
+#include "core/swa/sliced_machine.hpp"
+
+namespace aggspes::swa {
+
+template <typename In, typename Out, typename Key>
+using SlicedAggregateOp =
+    AggregateOp<In, Out, Key, SlicedWindowMachine<In, Key>>;
+
+template <typename In, typename Out, typename Key>
+using SlicedAggregatePlusOp =
+    AggregatePlusOp<In, Out, Key, SlicedWindowMachine<In, Key>>;
+
+template <typename In, typename Out, typename Key>
+using SlicedAggregateEagerOp =
+    AggregateEagerOp<In, Out, Key, SlicedWindowMachine<In, Key>>;
+
+}  // namespace aggspes::swa

@@ -1,0 +1,68 @@
+// The monoid contract for incremental window evaluation (DESIGN.md § 9).
+//
+// A user function f_O declared as a monoid ⟨lift, combine, identity⟩ plus
+// a final lowering step lets the sliced backend evaluate windows without
+// ever replaying their contents: tuples are lifted into per-pane partial
+// aggregates (one combine per tuple), and a window's value is the combine
+// of its panes' partials (two-stacks makes that amortized O(1) on the
+// in-order path). `combine` must be associative with `identity` as unit.
+// Panes are combined in event-time order and tuples within a pane in
+// arrival order; a non-commutative monoid therefore sees its inputs in
+// (pane-bucketed) time order, not global arrival order — declare only
+// functions for which that ordering is acceptable (any commutative
+// monoid trivially is). Arbitrary, non-monoid f_O still runs on the
+// sliced backend through the replay fallback (SlicedWindowMachine).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "core/types.hpp"
+
+namespace aggspes::swa {
+
+/// User declaration of f_O's incremental core.
+template <typename In, typename Agg>
+struct Monoid {
+  Agg identity{};
+  std::function<Agg(const In&)> lift;
+  std::function<Agg(const Agg&, const Agg&)> combine;
+};
+
+/// One window instance's evaluated aggregate, handed to the lowering
+/// function in place of the buffering backend's WindowView.
+template <typename Agg>
+struct WindowAggregate {
+  Agg agg{};                ///< combine over the instance's lifted tuples
+  std::uint64_t count{0};   ///< γ.ζ cardinality (for means, emptiness, …)
+  std::uint64_t stamp{0};   ///< max ingress wall-clock stamp (latency meta)
+};
+
+// --- Stock monoids for the common aggregations ------------------------
+
+template <typename In>
+Monoid<In, In> sum_monoid() {
+  return {In{}, [](const In& v) { return v; },
+          [](const In& a, const In& b) { return a + b; }};
+}
+
+template <typename In>
+Monoid<In, std::uint64_t> count_monoid() {
+  return {0, [](const In&) { return std::uint64_t{1}; },
+          [](std::uint64_t a, std::uint64_t b) { return a + b; }};
+}
+
+template <typename In>
+Monoid<In, In> max_monoid(In lowest) {
+  return {lowest, [](const In& v) { return v; },
+          [](const In& a, const In& b) { return std::max(a, b); }};
+}
+
+template <typename In>
+Monoid<In, In> min_monoid(In highest) {
+  return {highest, [](const In& v) { return v; },
+          [](const In& a, const In& b) { return std::min(a, b); }};
+}
+
+}  // namespace aggspes::swa

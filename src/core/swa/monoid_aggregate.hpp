@@ -1,0 +1,255 @@
+// Aggregate / A+ / A++ over the incremental monoid backend (DESIGN.md
+// § 9). The operator-facing contract mirrors the buffering family — same
+// watermark ordering (results before the watermark that completed them),
+// same output event time γ.l + WS − δ, same allowed-lateness re-fires and
+// end-of-stream flush — but f_O is split into the monoid ⟨lift, combine,
+// identity⟩ (evaluated incrementally, amortized O(1) per fire) and a
+// `lower` step mapping the finished WindowAggregate to output payloads.
+// Functions that cannot be expressed this way stay on the replay
+// backends (core/swa/backends.hpp) or the buffering originals.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/operators/operator_base.hpp"
+#include "core/swa/monoid_machine.hpp"
+
+namespace aggspes::swa {
+
+/// A with a monoid f_O: at most one output per instance.
+template <typename In, typename Out, typename Key, typename Agg>
+class MonoidAggregateOp final : public UnaryNode<In, Out> {
+ public:
+  using Machine = MonoidWindowMachine<In, Agg, Key>;
+  using KeyFn = typename Machine::KeyFn;
+  /// lower(key, window aggregate) → payload, or nullopt (∅) for no output.
+  using LowerFn =
+      std::function<std::optional<Out>(const Key&, const WindowAggregate<Agg>&)>;
+
+  MonoidAggregateOp(WindowSpec spec, KeyFn f_k, Monoid<In, Agg> m,
+                    LowerFn lower, int regular_inputs = 1,
+                    int loop_inputs = 0, bool flush_on_end = true)
+      : UnaryNode<In, Out>(regular_inputs, loop_inputs),
+        machine_(spec, std::move(f_k),
+                 MonoidPolicy<In, Agg, Key>(std::move(m))),
+        lower_(std::move(lower)),
+        flush_on_end_(flush_on_end) {}
+
+  const Machine& machine() const { return machine_; }
+  Machine& machine() { return machine_; }
+
+  void snapshot_to(SnapshotWriter& w) const override {
+    this->save_base(w);
+    if constexpr (kSerializable) {
+      w.write_bool(true);
+      machine_.save(w);
+    } else {
+      w.write_bool(false);
+    }
+  }
+
+  void restore_from(SnapshotReader& r) override {
+    this->load_base(r);
+    const bool has_state = r.read_bool();
+    if constexpr (kSerializable) {
+      if (has_state) machine_.load(r);
+    } else if (has_state) {
+      throw SnapshotError("MonoidAggregateOp aggregate lacks a StateCodec");
+    }
+  }
+
+ protected:
+  void on_tuple(int, const Tuple<In>& t) override {
+    machine_.add(t, this->watermark(), fire_);
+  }
+
+  void on_watermark(Timestamp w) override {
+    machine_.advance(w, fire_);
+    this->out_.push_watermark(w);
+  }
+
+  void on_end() override {
+    if (flush_on_end_) machine_.flush(fire_);
+    this->out_.push_end();
+  }
+
+ private:
+  void fire(Timestamp l, const Key& key, const WindowAggregate<Agg>& wa) {
+    if (std::optional<Out> o = lower_(key, wa)) {
+      this->out_.push_tuple(
+          Tuple<Out>{machine_.spec().output_ts(l), wa.stamp, std::move(*o)});
+    }
+  }
+
+  static constexpr bool kSerializable =
+      SnapshotSerializable<Agg> && SnapshotSerializable<Key>;
+
+  Machine machine_;
+  LowerFn lower_;
+  bool flush_on_end_;
+  typename Machine::FireFn fire_ =
+      [this](Timestamp l, const Key& k, const WindowAggregate<Agg>& wa,
+             bool) { fire(l, k, wa); };
+};
+
+/// A+ with a monoid f_O: any number of outputs per instance.
+template <typename In, typename Out, typename Key, typename Agg>
+class MonoidAggregatePlusOp final : public UnaryNode<In, Out> {
+ public:
+  using Machine = MonoidWindowMachine<In, Agg, Key>;
+  using KeyFn = typename Machine::KeyFn;
+  using LowerFn = std::function<std::vector<Out>(
+      const Key&, const WindowAggregate<Agg>&)>;
+
+  MonoidAggregatePlusOp(WindowSpec spec, KeyFn f_k, Monoid<In, Agg> m,
+                        LowerFn lower, int regular_inputs = 1,
+                        int loop_inputs = 0)
+      : UnaryNode<In, Out>(regular_inputs, loop_inputs),
+        machine_(spec, std::move(f_k),
+                 MonoidPolicy<In, Agg, Key>(std::move(m))),
+        lower_(std::move(lower)) {}
+
+  const Machine& machine() const { return machine_; }
+  Machine& machine() { return machine_; }
+
+  void snapshot_to(SnapshotWriter& w) const override {
+    this->save_base(w);
+    if constexpr (kSerializable) {
+      w.write_bool(true);
+      machine_.save(w);
+    } else {
+      w.write_bool(false);
+    }
+  }
+
+  void restore_from(SnapshotReader& r) override {
+    this->load_base(r);
+    const bool has_state = r.read_bool();
+    if constexpr (kSerializable) {
+      if (has_state) machine_.load(r);
+    } else if (has_state) {
+      throw SnapshotError(
+          "MonoidAggregatePlusOp aggregate lacks a StateCodec");
+    }
+  }
+
+ protected:
+  void on_tuple(int, const Tuple<In>& t) override {
+    machine_.add(t, this->watermark(), fire_);
+  }
+
+  void on_watermark(Timestamp w) override {
+    machine_.advance(w, fire_);
+    this->out_.push_watermark(w);
+  }
+
+  void on_end() override {
+    machine_.flush(fire_);
+    this->out_.push_end();
+  }
+
+ private:
+  void fire(Timestamp l, const Key& key, const WindowAggregate<Agg>& wa) {
+    const Timestamp ts = machine_.spec().output_ts(l);
+    for (Out& o : lower_(key, wa)) {
+      this->out_.push_tuple(Tuple<Out>{ts, wa.stamp, std::move(o)});
+    }
+  }
+
+  static constexpr bool kSerializable =
+      SnapshotSerializable<Agg> && SnapshotSerializable<Key>;
+
+  Machine machine_;
+  LowerFn lower_;
+  typename Machine::FireFn fire_ =
+      [this](Timestamp l, const Key& k, const WindowAggregate<Agg>& wa,
+             bool) { fire(l, k, wa); };
+};
+
+/// A++ with a monoid f_O: the incremental function lowers the instance's
+/// *running* aggregate on every arrival and emits immediately; `lower`
+/// still runs on expiration (return {} when eager emission covers it).
+template <typename In, typename Out, typename Key, typename Agg>
+class MonoidAggregateEagerOp final : public UnaryNode<In, Out> {
+ public:
+  using Machine = MonoidWindowMachine<In, Agg, Key>;
+  using KeyFn = typename Machine::KeyFn;
+  using LowerFn = std::function<std::vector<Out>(
+      const Key&, const WindowAggregate<Agg>&)>;
+
+  MonoidAggregateEagerOp(WindowSpec spec, KeyFn f_k, Monoid<In, Agg> m,
+                         LowerFn eager, LowerFn lower,
+                         int regular_inputs = 1)
+      : UnaryNode<In, Out>(regular_inputs, 0),
+        machine_(spec, std::move(f_k),
+                 MonoidPolicy<In, Agg, Key>(std::move(m))),
+        eager_(std::move(eager)),
+        lower_(std::move(lower)) {}
+
+  const Machine& machine() const { return machine_; }
+  Machine& machine() { return machine_; }
+
+  void snapshot_to(SnapshotWriter& w) const override {
+    this->save_base(w);
+    if constexpr (kSerializable) {
+      w.write_bool(true);
+      machine_.save(w);
+    } else {
+      w.write_bool(false);
+    }
+  }
+
+  void restore_from(SnapshotReader& r) override {
+    this->load_base(r);
+    const bool has_state = r.read_bool();
+    if constexpr (kSerializable) {
+      if (has_state) machine_.load(r);
+    } else if (has_state) {
+      throw SnapshotError(
+          "MonoidAggregateEagerOp aggregate lacks a StateCodec");
+    }
+  }
+
+ protected:
+  void on_tuple(int, const Tuple<In>& t) override {
+    machine_.add(t, this->watermark(), fire_,
+                 [this](Timestamp l, const Key& key,
+                        const WindowAggregate<Agg>& wa) {
+                   emit_all(l, wa, eager_(key, wa));
+                 });
+  }
+
+  void on_watermark(Timestamp w) override {
+    machine_.advance(w, fire_);
+    this->out_.push_watermark(w);
+  }
+
+  void on_end() override {
+    machine_.flush(fire_);
+    this->out_.push_end();
+  }
+
+ private:
+  void emit_all(Timestamp l, const WindowAggregate<Agg>& wa,
+                std::vector<Out> outs) {
+    const Timestamp ts = machine_.spec().output_ts(l);
+    for (Out& o : outs) {
+      this->out_.push_tuple(Tuple<Out>{ts, wa.stamp, std::move(o)});
+    }
+  }
+
+  static constexpr bool kSerializable =
+      SnapshotSerializable<Agg> && SnapshotSerializable<Key>;
+
+  Machine machine_;
+  LowerFn eager_;
+  LowerFn lower_;
+  typename Machine::FireFn fire_ =
+      [this](Timestamp l, const Key& k, const WindowAggregate<Agg>& wa,
+             bool) { emit_all(l, wa, lower_(k, wa)); };
+};
+
+}  // namespace aggspes::swa

@@ -1,0 +1,479 @@
+// The sliced window backend (DESIGN.md § 9): pane-store window state with
+// WindowMachine-equivalent fire semantics.
+//
+// Where WindowMachine copies each tuple into every overlapping instance
+// (an O(WS/WA) per-tuple blowup), SlicedEngine stores each tuple's
+// contribution exactly once — in its gcd(WA,WS)-wide pane — and evaluates
+// instances from the panes they span. The *semantics* are bit-identical
+// to WindowMachine under the operator discipline (advance(w) before any
+// add(t, w) at the same watermark, which is how every Aggregate drives
+// its machine):
+//
+//   * per-instance Dataflow admission: a late tuple is counted dropped
+//     once per instance past its lateness horizon, and admitted instances
+//     re-fire immediately as updates (§ 2.4);
+//   * instances fire once per (instance, key) at the watermark that
+//     completes them, in instance order, and flush() fires the rest;
+//   * floor_div instance math, so negative timestamps land in the same
+//     instances and panes.
+//
+// The evaluation strategy is pluggable (Policy): ReplayPolicy materializes
+// an instance's tuples from its panes in global arrival order — the
+// fallback for arbitrary f_O — while MonoidPolicy (monoid_machine.hpp)
+// keeps per-pane partial aggregates and answers fires in amortized O(1)
+// via per-key two-stacks.
+//
+// Instance bookkeeping is O(1) per tuple: no per-instance state is touched
+// on the hot path. Completed instances are discovered by walking a cursor
+// over the pane index (each instance is visited once), fired-flags are
+// materialized only for instances that actually fire and are purged with
+// the lateness horizon, and instances past the horizon are exactly the
+// ones WindowMachine would have purged.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/recovery/snapshot.hpp"
+#include "core/swa/late_probe.hpp"
+#include "core/swa/pane.hpp"
+#include "core/types.hpp"
+#include "core/window.hpp"
+
+namespace aggspes::swa {
+
+template <typename In, typename Key, typename Policy>
+class SlicedEngine {
+ public:
+  using Cell = typename Policy::Cell;
+  /// What a fire delivers: materialized tuples (ReplayPolicy) or a
+  /// WindowAggregate (MonoidPolicy).
+  using Result = typename Policy::Result;
+  /// fire(l, key, result, is_late_update) — same contract as
+  /// WindowMachine::FireFn, with Result in place of the items vector.
+  using FireFn =
+      std::function<void(Timestamp, const Key&, const Result&, bool)>;
+  /// added(l, key, result) — post-insert hook behind eager Aggregates.
+  using AddedFn = std::function<void(Timestamp, const Key&, const Result&)>;
+  using KeyFn = std::function<Key(const In&)>;
+  using PaneMap = std::map<Timestamp, std::unordered_map<Key, Cell>>;
+
+  SlicedEngine(WindowSpec spec, KeyFn key_fn, Policy policy = Policy{})
+      : spec_(spec),
+        geom_(PaneGeometry::of(spec)),
+        key_fn_(std::move(key_fn)),
+        policy_(std::move(policy)) {}
+
+  const WindowSpec& spec() const { return spec_; }
+  const PaneGeometry& geometry() const { return geom_; }
+  Policy& policy() { return policy_; }
+
+  /// Inserts `t` once (into its pane) and applies per-instance admission,
+  /// eager hooks and late re-fires exactly like WindowMachine::add.
+  void add(const Tuple<In>& t, Timestamp w, const FireFn& fire,
+           const AddedFn& added = {}) {
+    Key key = key_fn_(t.value);
+    const Timestamp pane_l = geom_.pane_of(t.ts);
+    const Timestamp first = spec_.first_instance(t.ts);
+    if (!added && !spec_.closes(first, w)) {
+      // Fast path: if the earliest overlapping instance has not closed,
+      // none has (closes is antitone in l) and none is purgeable either
+      // (purgeable implies closes). The tuple is in-order — store once
+      // in O(1); all fires happen on advance(). With WS < WA a tuple can
+      // fall in the gap between instances; those are not stored at all.
+      if (spec_.size >= spec_.advance || first <= spec_.last_instance(t.ts)) {
+        store_tuple(key, pane_l, t, first);
+      }
+      return;
+    }
+    bool stored = false;
+    spec_.for_each_instance(t.ts, [&](Timestamp l) {
+      if (!spec_.admits(l, w)) {
+        ++dropped_late_;
+        if (late_probe_) late_probe_({l, t.ts, w, /*dropped=*/true});
+        return;
+      }
+      if (!stored) {
+        // Admission is monotone in l, so every instance evaluated below
+        // already sees the stored tuple.
+        store_tuple(key, pane_l, t, first);
+        stored = true;
+      }
+      if (added) {
+        added(l, key, policy_.evaluate(panes_, spec_, geom_, l, key,
+                                       /*sequential=*/false));
+      }
+      if (spec_.closes(l, w)) {
+        bool& fired = fired_[l][key];
+        const bool update = fired;
+        fired = true;
+        if (update) {
+          ++late_updates_;
+          if (late_probe_) late_probe_({l, t.ts, w, /*dropped=*/false});
+        }
+        fire(l, key,
+             policy_.evaluate(panes_, spec_, geom_, l, key,
+                              /*sequential=*/false),
+             update);
+      }
+    });
+  }
+
+  /// Fires every instance completed by watermark `w` (ascending, once per
+  /// key) and purges panes and fired-flags past the lateness horizon.
+  void advance(Timestamp w, const FireFn& fire) {
+    if (w < kMinTimestamp + spec_.size) return;  // nothing can close yet
+    if (have_cursor_) {
+      Timestamp l = std::max(cursor_, horizon_);
+      while (true) {
+        // Jump over instances with no pane in range: the first pane >= l
+        // bounds the next instance that can have data.
+        auto it = panes_.lower_bound(l);
+        if (it == panes_.end()) break;
+        const Timestamp first = spec_.first_instance(it->first);
+        if (first > l) l = first;
+        if (!spec_.closes(l, w)) break;
+        fire_instance(l, fire);
+        l += spec_.advance;
+      }
+    }
+    // Everything left of first_instance(w) is closed: late arrivals there
+    // re-fire through add(); the cursor never needs to revisit them.
+    const Timestamp next_open = spec_.first_instance(w);
+    if (!have_cursor_ || next_open > cursor_) cursor_ = next_open;
+    have_cursor_ = true;
+    purge(w);
+  }
+
+  /// Fires everything still unfired (end-of-stream flush), then clears.
+  void flush(const FireFn& fire) {
+    if (have_cursor_) {
+      Timestamp l = std::max(cursor_, horizon_);
+      while (true) {
+        auto it = panes_.lower_bound(l);
+        if (it == panes_.end()) break;
+        const Timestamp first = spec_.first_instance(it->first);
+        if (first > l) l = first;
+        fire_instance(l, fire);
+        l += spec_.advance;
+      }
+    }
+    panes_.clear();
+    fired_.clear();
+    policy_.reset();
+    active_keys_.clear();
+    union_valid_ = false;
+    pane_cache_ = nullptr;
+    have_cursor_ = false;
+    cursor_ = 0;
+  }
+
+  std::uint64_t dropped_late() const { return dropped_late_; }
+  std::uint64_t late_updates() const { return late_updates_; }
+  std::uint64_t fired_instances() const { return fired_instances_; }
+  std::size_t open_panes() const { return panes_.size(); }
+
+  /// Number of instances holding data and not yet purged (WindowMachine's
+  /// open_instances analogue). O(instances) — diagnostics/tests only.
+  std::size_t open_instances() const {
+    if (panes_.empty()) return 0;
+    std::size_t n = 0;
+    Timestamp l =
+        std::max(spec_.first_instance(panes_.begin()->first), horizon_);
+    while (true) {
+      auto it = panes_.lower_bound(l);
+      if (it == panes_.end()) break;
+      const Timestamp first = spec_.first_instance(it->first);
+      if (first > l) l = first;
+      ++n;
+      l += spec_.advance;
+    }
+    return n;
+  }
+
+  /// Rate-limited late-tuple diagnostics (see late_probe.hpp).
+  void set_late_probe(LateProbe::Fn fn, std::uint64_t every = 1024) {
+    late_probe_.set(std::move(fn), every);
+  }
+  const LateProbe& late_probe() const { return late_probe_; }
+
+  /// Serializes pane cells, fired flags, cursors and counters. Policy
+  /// caches (e.g. two-stacks) are rebuilt after load, never persisted —
+  /// a snapshot cannot resurrect a stale cached aggregate.
+  void save(SnapshotWriter& w) const {
+    w.write_size(panes_.size());
+    for (const auto& [p, cells] : panes_) {
+      w.write_i64(p);
+      w.write_size(cells.size());
+      for (const auto& [key, cell] : cells) {
+        write_value(w, key);
+        policy_.save_cell(w, cell);
+      }
+    }
+    w.write_size(fired_.size());
+    for (const auto& [l, keys] : fired_) {
+      w.write_i64(l);
+      w.write_size(keys.size());
+      for (const auto& [key, fired] : keys) {
+        write_value(w, key);
+        w.write_bool(fired);
+      }
+    }
+    w.write_bool(have_cursor_);
+    w.write_i64(cursor_);
+    w.write_i64(horizon_);
+    w.write_u64(next_seq_);
+    w.write_u64(dropped_late_);
+    w.write_u64(late_updates_);
+    w.write_u64(fired_instances_);
+  }
+
+  void load(SnapshotReader& r) {
+    panes_.clear();
+    fired_.clear();
+    const std::size_t n_panes = r.read_size();
+    for (std::size_t i = 0; i < n_panes; ++i) {
+      const Timestamp p = r.read_i64();
+      auto& cells = panes_[p];
+      const std::size_t n_cells = r.read_size();
+      for (std::size_t c = 0; c < n_cells; ++c) {
+        Key key = read_value<Key>(r);
+        cells.emplace(std::move(key), policy_.load_cell(r));
+      }
+    }
+    const std::size_t n_fired = r.read_size();
+    for (std::size_t i = 0; i < n_fired; ++i) {
+      const Timestamp l = r.read_i64();
+      auto& keys = fired_[l];
+      const std::size_t n_keys = r.read_size();
+      for (std::size_t k = 0; k < n_keys; ++k) {
+        Key key = read_value<Key>(r);
+        const bool fired = r.read_bool();
+        keys.emplace(std::move(key), fired);
+      }
+    }
+    have_cursor_ = r.read_bool();
+    cursor_ = r.read_i64();
+    horizon_ = r.read_i64();
+    next_seq_ = r.read_u64();
+    dropped_late_ = r.read_u64();
+    late_updates_ = r.read_u64();
+    fired_instances_ = r.read_u64();
+    policy_.reset();
+    active_keys_.clear();
+    union_valid_ = false;
+    pane_cache_ = nullptr;
+  }
+
+ private:
+  /// Stores `t` exactly once into its pane cell and keeps the walk
+  /// cursor and the key-union cache consistent. `pane_cache_` memoizes
+  /// the last pane's cell map (std::map references are stable until
+  /// erase) so runs of tuples landing in the same pane skip the lookup.
+  void store_tuple(const Key& key, Timestamp pane_l, const Tuple<In>& t,
+                   Timestamp first) {
+    if (pane_cache_ == nullptr || pane_cache_l_ != pane_l) {
+      pane_cache_ = &panes_[pane_l];
+      pane_cache_l_ = pane_l;
+    }
+    auto [cell, inserted] = pane_cache_->try_emplace(key);
+    policy_.absorb(cell->second, pane_l, t, next_seq_++);
+    if (inserted && union_valid_ && pane_l >= union_from_ &&
+        pane_l < union_to_) {
+      ++active_keys_[key];  // keep the fire walk's key-union exact
+    }
+    if (!have_cursor_ || first < cursor_) cursor_ = first;
+    have_cursor_ = true;
+  }
+
+  /// Fires instance l for every key with data in it. The key-union over
+  /// the instance's panes is maintained as a sliding multiset across the
+  /// (monotone) fire walk, so each pane's cells are scanned once per pass
+  /// instead of once per overlapping instance — this is what keeps the
+  /// whole advance path O(1) amortized per tuple.
+  void fire_instance(Timestamp l, const FireFn& fire) {
+    const Timestamp end = l + spec_.size;
+    if (!union_valid_ || union_from_ > l || union_to_ > end ||
+        union_to_ < l) {
+      // Rebuild from scratch when the walk jumped backwards (late
+      // arrival) or the previous window is disjoint (WS < WA gaps, or a
+      // cursor jump): sliding would walk panes that were never counted.
+      active_keys_.clear();
+      union_from_ = union_to_ = l;
+      union_valid_ = true;
+    }
+    while (union_from_ < l) {
+      drop_pane_keys(union_from_);
+      union_from_ += geom_.width;
+    }
+    while (union_to_ < end) {
+      count_pane_keys(union_to_);
+      union_to_ += geom_.width;
+    }
+    if (active_keys_.empty()) return;
+    auto& flags = fired_[l];
+    for (const auto& [key, live_cells] : active_keys_) {
+      bool& fired = flags[key];
+      if (fired) continue;
+      fired = true;
+      ++fired_instances_;
+      fire(l, key,
+           policy_.evaluate(panes_, spec_, geom_, l, key,
+                            /*sequential=*/true),
+           false);
+    }
+  }
+
+  void count_pane_keys(Timestamp p) {
+    auto it = panes_.find(p);
+    if (it == panes_.end()) return;
+    for (const auto& [key, cell] : it->second) ++active_keys_[key];
+  }
+
+  void drop_pane_keys(Timestamp p) {
+    auto it = panes_.find(p);
+    if (it == panes_.end()) return;  // already purged (union decremented)
+    for (const auto& [key, cell] : it->second) {
+      auto k = active_keys_.find(key);
+      if (k != active_keys_.end() && --k->second == 0) active_keys_.erase(k);
+    }
+  }
+
+  void purge(Timestamp w) {
+    if (w < kMinTimestamp + spec_.size + spec_.lateness) return;
+    // A pane dies when the *last* instance containing it is purgeable.
+    while (!panes_.empty()) {
+      const Timestamp p = panes_.begin()->first;
+      if (!spec_.purgeable(spec_.last_instance(p), w)) break;
+      if (union_valid_ && p >= union_from_ && p < union_to_) {
+        drop_pane_keys(p);  // keep a lagging key-union consistent
+      }
+      if (pane_cache_l_ == p) pane_cache_ = nullptr;
+      panes_.erase(panes_.begin());
+    }
+    // First non-purgeable instance: smallest multiple of WA > w - WS - L.
+    const Timestamp h =
+        (floor_div(w - spec_.size - spec_.lateness, spec_.advance) + 1) *
+        spec_.advance;
+    if (h > horizon_) {
+      horizon_ = h;
+      while (!fired_.empty() && fired_.begin()->first < horizon_) {
+        fired_.erase(fired_.begin());
+      }
+    }
+  }
+
+  WindowSpec spec_;
+  PaneGeometry geom_;
+  KeyFn key_fn_;
+  Policy policy_;
+  PaneMap panes_;
+  /// Fired flags per (instance, key), materialized at fire time only and
+  /// kept until the instance's lateness horizon passes (they gate late
+  /// update re-fires, mirroring WindowMachine's Bucket::fired).
+  std::map<Timestamp, std::unordered_map<Key, bool>> fired_;
+  /// Sliding key-union cache for fire_instance: per key, the number of
+  /// live (pane, key) cells in panes [union_from_, union_to_). Rebuilt
+  /// from the panes whenever the walk jumps backwards; never serialized.
+  std::unordered_map<Key, std::uint32_t> active_keys_;
+  Timestamp union_from_{0};
+  Timestamp union_to_{0};
+  bool union_valid_{false};
+  /// Memoized cell map of the pane written by the previous store.
+  std::unordered_map<Key, Cell>* pane_cache_{nullptr};
+  Timestamp pane_cache_l_{0};
+  bool have_cursor_{false};
+  Timestamp cursor_{0};              ///< first instance advance() may still fire
+  Timestamp horizon_{kMinTimestamp};  ///< instances below are purged
+  std::uint64_t next_seq_{0};
+  std::uint64_t dropped_late_{0};
+  std::uint64_t late_updates_{0};
+  std::uint64_t fired_instances_{0};
+  LateProbe late_probe_;
+};
+
+/// The replay fallback for arbitrary f_O: pane cells hold the tuples
+/// themselves (each stored once, tagged with a global arrival sequence
+/// number), and evaluation materializes an instance's contents in arrival
+/// order — so fire payloads are element-for-element identical to the
+/// buffering backend's item vectors.
+template <typename In>
+class ReplayPolicy {
+ public:
+  struct Entry {
+    std::uint64_t seq{0};
+    Tuple<In> t;
+  };
+  struct Cell {
+    std::vector<Entry> entries;
+  };
+  using Result = std::vector<Tuple<In>>;
+
+  void absorb(Cell& c, Timestamp, const Tuple<In>& t, std::uint64_t seq) {
+    c.entries.push_back({seq, t});
+  }
+
+  template <typename PaneMap, typename Key>
+  const Result& evaluate(const PaneMap& panes, const WindowSpec& spec,
+                         const PaneGeometry&, Timestamp l, const Key& key,
+                         bool /*sequential*/) {
+    scratch_.clear();
+    const Timestamp end = l + spec.size;
+    for (auto it = panes.lower_bound(l); it != panes.end() && it->first < end;
+         ++it) {
+      auto cell = it->second.find(key);
+      if (cell == it->second.end()) continue;
+      for (const Entry& e : cell->second.entries) scratch_.push_back(&e);
+    }
+    // Panes are time-ordered but arrival interleaves across panes; the seq
+    // tags restore global arrival order.
+    std::sort(scratch_.begin(), scratch_.end(),
+              [](const Entry* a, const Entry* b) { return a->seq < b->seq; });
+    result_.clear();
+    result_.reserve(scratch_.size());
+    for (const Entry* e : scratch_) result_.push_back(e->t);
+    return result_;
+  }
+
+  void reset() {}
+
+  /// Only instantiated for payloads with a StateCodec (operators guard
+  /// with `if constexpr (SnapshotSerializable<...>)`).
+  void save_cell(SnapshotWriter& w, const Cell& c) const {
+    w.write_size(c.entries.size());
+    for (const Entry& e : c.entries) {
+      w.write_u64(e.seq);
+      write_value(w, e.t);
+    }
+  }
+
+  Cell load_cell(SnapshotReader& r) const {
+    Cell c;
+    const std::size_t n = r.read_size();
+    c.entries.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Entry e;
+      e.seq = r.read_u64();
+      e.t = read_value<Tuple<In>>(r);
+      c.entries.push_back(std::move(e));
+    }
+    return c;
+  }
+
+ private:
+  std::vector<const Entry*> scratch_;
+  Result result_;
+};
+
+/// Drop-in WindowMachine replacement: same constructor shape, same FireFn
+/// and AddedFn signatures, single-copy pane storage. Select it per
+/// operator via the Backend template parameter of Aggregate/A+/A++.
+template <typename In, typename Key>
+using SlicedWindowMachine = SlicedEngine<In, Key, ReplayPolicy<In>>;
+
+}  // namespace aggspes::swa

@@ -41,13 +41,22 @@ struct WindowSpec {
     return (floor_div(ts - size, advance) + 1) * advance;
   }
 
-  /// All instance left-boundaries containing ts, ascending.
-  std::vector<Timestamp> instances(Timestamp ts) const {
-    std::vector<Timestamp> out;
+  /// Invokes fn(l) for every instance left-boundary containing ts,
+  /// ascending. Allocation-free; the hot-path form of instances().
+  template <typename Fn>
+  constexpr void for_each_instance(Timestamp ts, Fn&& fn) const {
     for (Timestamp l = first_instance(ts); l <= last_instance(ts);
          l += advance) {
-      out.push_back(l);
+      fn(l);
     }
+  }
+
+  /// All instance left-boundaries containing ts, ascending. Allocates a
+  /// vector per call — test/debug convenience; hot paths use
+  /// for_each_instance().
+  std::vector<Timestamp> instances(Timestamp ts) const {
+    std::vector<Timestamp> out;
+    for_each_instance(ts, [&out](Timestamp l) { out.push_back(l); });
     return out;
   }
 

@@ -1,0 +1,246 @@
+// Randomized, seeded property test (DESIGN.md § 9): the sliced backends —
+// replay and incremental-monoid — must emit exactly the buffering
+// WindowMachine's (ts, value) stream through the full operator family,
+// across random WA/WS/L combinations, out-of-order input, late arrivals
+// (both admitted re-fires and drops) and negative timestamps. Output
+// multisets are compared because per-instance key fire order is
+// unordered_map-dependent; counters pin the lateness bookkeeping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/operators/aggregate.hpp"
+#include "core/operators/aggregate_eager.hpp"
+#include "core/operators/aggregate_plus.hpp"
+#include "core/operators/sink.hpp"
+#include "core/operators/source.hpp"
+#include "core/swa/backends.hpp"
+#include "core/swa/monoid_aggregate.hpp"
+
+namespace aggspes {
+namespace {
+
+std::vector<Tuple<int>> random_tuples(unsigned seed, int n, Timestamp start) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<Timestamp> gap(0, 3);
+  std::uniform_int_distribution<int> val(0, 20);
+  std::vector<Tuple<int>> v;
+  Timestamp ts = start;
+  for (int i = 0; i < n; ++i) {
+    ts += gap(rng);
+    v.push_back({ts, 0, val(rng)});
+  }
+  return v;
+}
+
+/// Locally-shuffled script with *aggressive* watermarks: each watermark
+/// trails the running max timestamp by a small random slack, so shuffled
+/// tuples genuinely arrive late — some within L (re-fires), some beyond
+/// it (drops). All backends see the identical element sequence.
+std::vector<Element<int>> lateish_script(std::vector<Tuple<int>> tuples,
+                                         int k, int wm_every,
+                                         Timestamp flush_to, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::sort(tuples.begin(), tuples.end(),
+            [](const auto& a, const auto& b) { return a.ts < b.ts; });
+  for (std::size_t i = 0; i + 1 < tuples.size(); ++i) {
+    std::uniform_int_distribution<std::size_t> d(
+        i, std::min(tuples.size() - 1, i + static_cast<std::size_t>(k)));
+    std::swap(tuples[i], tuples[d(rng)]);
+  }
+  std::uniform_int_distribution<Timestamp> slack(0, 4);
+  std::vector<Element<int>> script;
+  Timestamp max_ts = kMinTimestamp;
+  Timestamp last_wm = kMinTimestamp;
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    script.push_back(tuples[i]);
+    max_ts = std::max(max_ts, tuples[i].ts);
+    if ((i + 1) % static_cast<std::size_t>(wm_every) == 0) {
+      const Timestamp w = max_ts - slack(rng);
+      if (w > last_wm) {
+        script.push_back(Watermark{w});
+        last_wm = w;
+      }
+    }
+  }
+  script.push_back(Watermark{flush_to});
+  script.push_back(EndOfStream{});
+  return script;
+}
+
+struct RunResult {
+  std::multiset<std::pair<Timestamp, int>> out;
+  std::uint64_t dropped;
+  std::uint64_t late_updates;
+};
+
+template <typename AggT>
+RunResult run_sum(const std::vector<Element<int>>& script, WindowSpec spec) {
+  Flow flow;
+  auto& src = flow.add<ScriptSource<int>>(script);
+  auto& agg = flow.add<AggT>(
+      spec, [](const int& v) { return v % 3; },
+      [](const WindowView<int, int>& w) -> std::optional<int> {
+        int s = 0;
+        for (const auto& t : w.items) s += t.value;
+        return s;
+      });
+  auto& sink = flow.add<CollectorSink<int>>();
+  flow.connect(src.out(), agg.in());
+  flow.connect(agg.out(), sink.in());
+  flow.run();
+  return {sink.multiset(), agg.machine().dropped_late(),
+          agg.machine().late_updates()};
+}
+
+RunResult run_monoid_sum(const std::vector<Element<int>>& script,
+                         WindowSpec spec) {
+  Flow flow;
+  auto& src = flow.add<ScriptSource<int>>(script);
+  auto& agg = flow.add<swa::MonoidAggregateOp<int, int, int, int>>(
+      spec, [](const int& v) { return v % 3; }, swa::sum_monoid<int>(),
+      [](const int&, const swa::WindowAggregate<int>& wa)
+          -> std::optional<int> { return wa.agg; });
+  auto& sink = flow.add<CollectorSink<int>>();
+  flow.connect(src.out(), agg.in());
+  flow.connect(agg.out(), sink.in());
+  flow.run();
+  return {sink.multiset(), agg.machine().dropped_late(),
+          agg.machine().late_updates()};
+}
+
+TEST(SwaEquivalence, RandomizedAggregateAcrossSpecsAndSeeds) {
+  const std::vector<WindowSpec> specs = {
+      {.advance = 1, .size = 5, .lateness = 0},
+      {.advance = 4, .size = 10, .lateness = 5},   // gcd 2: true panes
+      {.advance = 5, .size = 5, .lateness = 3},    // tumbling
+      {.advance = 7, .size = 3, .lateness = 0},    // sampling (WA > WS)
+      {.advance = 10, .size = 25, .lateness = 40}, // everything admitted
+      {.advance = 3, .size = 17, .lateness = 8},   // coprime: width-1 panes
+  };
+  for (std::size_t si = 0; si < specs.size(); ++si) {
+    const WindowSpec spec = specs[si];
+    for (unsigned seed : {1u, 2u, 3u}) {
+      // Negative start: instances and panes straddle zero.
+      auto tuples = random_tuples(seed * 7 + static_cast<unsigned>(si), 200,
+                                  /*start=*/-50);
+      const Timestamp flush = tuples.back().ts + spec.size + spec.lateness + 5;
+      auto script = lateish_script(std::move(tuples), /*k=*/8,
+                                   /*wm_every=*/7, flush, seed);
+
+      const RunResult buffering =
+          run_sum<AggregateOp<int, int, int>>(script, spec);
+      const RunResult sliced =
+          run_sum<swa::SlicedAggregateOp<int, int, int>>(script, spec);
+      const RunResult monoid = run_monoid_sum(script, spec);
+
+      EXPECT_GT(buffering.out.size(), 0u);
+      EXPECT_EQ(sliced.out, buffering.out) << "spec " << si << " seed " << seed;
+      EXPECT_EQ(sliced.dropped, buffering.dropped);
+      EXPECT_EQ(sliced.late_updates, buffering.late_updates);
+      EXPECT_EQ(monoid.out, buffering.out) << "spec " << si << " seed " << seed;
+      EXPECT_EQ(monoid.dropped, buffering.dropped);
+      EXPECT_EQ(monoid.late_updates, buffering.late_updates);
+    }
+  }
+}
+
+TEST(SwaEquivalence, AggregatePlusEmitsIdenticalMultiOutputs) {
+  const WindowSpec spec{.advance = 4, .size = 10, .lateness = 6};
+  auto tuples = random_tuples(42, 150, -20);
+  const Timestamp flush = tuples.back().ts + 30;
+  auto script = lateish_script(std::move(tuples), 6, 9, flush, 42);
+
+  // f_O emits sum and count: two outputs per (instance, key).
+  auto f_o = [](const WindowView<int, int>& w) {
+    int s = 0;
+    for (const auto& t : w.items) s += t.value;
+    return std::vector<int>{s, static_cast<int>(w.items.size())};
+  };
+  auto run = [&](auto* tag) {
+    using AggT = std::remove_pointer_t<decltype(tag)>;
+    Flow flow;
+    auto& src = flow.add<ScriptSource<int>>(script);
+    auto& agg = flow.add<AggT>(spec, [](const int& v) { return v % 2; }, f_o);
+    auto& sink = flow.add<CollectorSink<int>>();
+    flow.connect(src.out(), agg.in());
+    flow.connect(agg.out(), sink.in());
+    flow.run();
+    return sink.multiset();
+  };
+  const auto buffering =
+      run(static_cast<AggregatePlusOp<int, int, int>*>(nullptr));
+  const auto sliced =
+      run(static_cast<swa::SlicedAggregatePlusOp<int, int, int>*>(nullptr));
+  EXPECT_GT(buffering.size(), 0u);
+  EXPECT_EQ(sliced, buffering);
+
+  // Monoid A+ with ⟨sum⟩ and a two-output lowering must match as well.
+  Flow flow;
+  auto& src = flow.add<ScriptSource<int>>(script);
+  auto& agg = flow.add<swa::MonoidAggregatePlusOp<int, int, int, int>>(
+      spec, [](const int& v) { return v % 2; }, swa::sum_monoid<int>(),
+      [](const int&, const swa::WindowAggregate<int>& wa) {
+        return std::vector<int>{wa.agg, static_cast<int>(wa.count)};
+      });
+  auto& sink = flow.add<CollectorSink<int>>();
+  flow.connect(src.out(), agg.in());
+  flow.connect(agg.out(), sink.in());
+  flow.run();
+  EXPECT_EQ(sink.multiset(), buffering);
+}
+
+TEST(SwaEquivalence, EagerBackendsEmitIdenticalIncrementalStreams) {
+  const WindowSpec spec{.advance = 5, .size = 15, .lateness = 0};
+  auto tuples = random_tuples(7, 120, 0);
+  const Timestamp flush = tuples.back().ts + 20;
+  auto script = lateish_script(std::move(tuples), 4, 8, flush, 7);
+
+  // f_I emits the running count on every arrival; f_O nothing.
+  auto f_i = [](const WindowView<int, int>& w) {
+    return std::vector<int>{static_cast<int>(w.items.size())};
+  };
+  auto f_o = [](const WindowView<int, int>&) { return std::vector<int>{}; };
+  auto run = [&](auto* tag) {
+    using AggT = std::remove_pointer_t<decltype(tag)>;
+    Flow flow;
+    auto& src = flow.add<ScriptSource<int>>(script);
+    auto& agg =
+        flow.add<AggT>(spec, [](const int& v) { return v % 2; }, f_i, f_o);
+    auto& sink = flow.add<CollectorSink<int>>();
+    flow.connect(src.out(), agg.in());
+    flow.connect(agg.out(), sink.in());
+    flow.run();
+    return sink.multiset();
+  };
+  const auto buffering =
+      run(static_cast<AggregateEagerOp<int, int, int>*>(nullptr));
+  const auto sliced =
+      run(static_cast<swa::SlicedAggregateEagerOp<int, int, int>*>(nullptr));
+  EXPECT_GT(buffering.size(), 0u);
+  EXPECT_EQ(sliced, buffering);
+
+  Flow flow;
+  auto& src = flow.add<ScriptSource<int>>(script);
+  auto& agg = flow.add<swa::MonoidAggregateEagerOp<int, int, int, int>>(
+      spec, [](const int& v) { return v % 2; }, swa::sum_monoid<int>(),
+      [](const int&, const swa::WindowAggregate<int>& wa) {
+        return std::vector<int>{static_cast<int>(wa.count)};
+      },
+      [](const int&, const swa::WindowAggregate<int>&) {
+        return std::vector<int>{};
+      });
+  auto& sink = flow.add<CollectorSink<int>>();
+  flow.connect(src.out(), agg.in());
+  flow.connect(agg.out(), sink.in());
+  flow.run();
+  EXPECT_EQ(sink.multiset(), buffering);
+}
+
+}  // namespace
+}  // namespace aggspes

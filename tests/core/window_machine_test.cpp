@@ -135,6 +135,23 @@ TEST(WindowMachineSliding, TupleEntersEveryOverlappingInstance) {
   EXPECT_EQ(fired_at, (std::vector<Timestamp>{0, 5, 10}));
 }
 
+TEST_F(MachineFixture, LateProbeIsRateLimited) {
+  auto fire = recorder();
+  std::vector<LateEvent> seen;
+  machine_.set_late_probe([&](const LateEvent& e) { seen.push_back(e); },
+                          /*every=*/3);
+  machine_.add(tup(1, 2), kMinTimestamp, fire);
+  machine_.advance(15, fire);  // [0,10) past its lateness horizon
+  for (int i = 0; i < 7; ++i) machine_.add(tup(2, 2), 15, fire);
+  EXPECT_EQ(machine_.dropped_late(), 7u);
+  ASSERT_EQ(seen.size(), 3u);  // events 0, 3, 6
+  EXPECT_TRUE(seen[0].dropped);
+  EXPECT_EQ(seen[0].instance, 0);
+  EXPECT_EQ(seen[0].tuple_ts, 2);
+  EXPECT_EQ(seen[0].watermark, 15);
+  EXPECT_EQ(machine_.late_probe().observed(), 7u);
+}
+
 TEST(WindowMachineStamp, MaxStampHelper) {
   std::vector<Tuple<int>> items{{0, 5, 1}, {1, 9, 2}, {2, 7, 3}};
   EXPECT_EQ(max_stamp(items), 9u);
