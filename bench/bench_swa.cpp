@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/operators/aggregate.hpp"
+#include "core/operators/join.hpp"
+#include "core/operators/join_buffering.hpp"
 #include "core/operators/sink.hpp"
 #include "core/operators/source.hpp"
 #include "core/operators/window_machine.hpp"
@@ -147,6 +149,60 @@ void BM_FlowAggregate_Monoid(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_FlowAggregate_Monoid);
+
+// --- Dedicated join: pane store vs per-instance buffering ---------------
+//
+// Same two-sided stream through both join backends at overlap ratios
+// WS/WA ∈ {1, 8, 32}. The peak_stored counter is the acceptance evidence
+// for DESIGN.md § 9: the buffering join's footprint grows with the
+// overlap ratio (one copy per overlapping instance) while the pane
+// store's stays proportional to the retained time span only —
+// run_micro.sh turns the pair into join_pane_memory.copy_ratio rows.
+
+template <typename JoinT>
+void run_join(benchmark::State& state) {
+  const WindowSpec spec{.advance = kWA, .size = kWA * state.range(0)};
+  constexpr int kN = 8192;
+  std::uint64_t peak = 0;
+  std::uint64_t panes = 0;
+  for (auto _ : state) {
+    Flow flow;
+    auto& op = flow.add<JoinT>(
+        spec, [](const int& v) { return v & 63; },
+        [](const int& v) { return v & 63; },
+        [](const int& a, const int& b) { return ((a ^ b) & 255) == 0; });
+    auto& sink = flow.add<CollectorSink<std::pair<int, int>>>();
+    flow.connect(op.out(), sink.in());
+    Timestamp ts = 0;
+    for (int i = 0; i < kN; ++i) {
+      op.in_left().receive(Element<int>{Tuple<int>{ts, 0, i}});
+      op.in_right().receive(Element<int>{Tuple<int>{ts, 0, i * 7}});
+      ++ts;
+      if (ts % kWA == 0) {
+        op.in_left().receive(Element<int>{Watermark{ts}});
+        op.in_right().receive(Element<int>{Watermark{ts}});
+        flow.drain();
+      }
+    }
+    flow.drain();
+    peak = op.peak_occupancy();
+    panes = op.peak_panes();
+    benchmark::DoNotOptimize(sink.tuples().size());
+  }
+  state.counters["peak_stored"] = static_cast<double>(peak);
+  state.counters["peak_panes"] = static_cast<double>(panes);
+  state.SetItemsProcessed(state.iterations() * kN * 2);
+}
+
+void BM_Join_Buffering(benchmark::State& state) {
+  run_join<BufferingJoinOp<int, int, int>>(state);
+}
+BENCHMARK(BM_Join_Buffering)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_Join_Pane(benchmark::State& state) {
+  run_join<JoinOp<int, int, int>>(state);
+}
+BENCHMARK(BM_Join_Pane)->Arg(1)->Arg(8)->Arg(32);
 
 }  // namespace
 

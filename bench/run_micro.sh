@@ -27,8 +27,26 @@ trap 'rm -rf "$tmp"' EXIT
 jq -s '
   def cpu($f; $name):
     $f.benchmarks[] | select(.name == $name) | .cpu_time;
+  def ctr($f; $name; $c):
+    $f.benchmarks[] | select(.name == $name) | .[$c];
   . as [$swa, $micro] |
   {
+    # Pane-store vs per-instance join footprint (DESIGN.md § 9): the
+    # buffering join stores one copy per overlapping instance, so its
+    # copy_ratio should track the WS/WA ratio while pane stays flat
+    # per retained tuple.
+    join_pane_memory: (
+      [32, 8, 1] | map({
+        key: ("ratio_" + tostring),
+        value: {
+          buffering_peak: ctr($swa; "BM_Join_Buffering/\(.)"; "peak_stored"),
+          pane_peak: ctr($swa; "BM_Join_Pane/\(.)"; "peak_stored"),
+          copy_ratio: ((ctr($swa; "BM_Join_Buffering/\(.)"; "peak_stored") /
+                        ctr($swa; "BM_Join_Pane/\(.)"; "peak_stored")) * 100
+                       | round / 100)
+        }
+      }) | from_entries
+    ),
     speedup_vs_buffering: (
       [32, 4, 1] | map({
         key: ("ratio_" + tostring),
@@ -50,4 +68,4 @@ jq -s '
   }' "$tmp/swa.json" "$tmp/micro.json" >"$OUT"
 
 echo "wrote $OUT"
-jq '{speedup_vs_buffering, flow_speedup_monoid_vs_buffering}' "$OUT"
+jq '{speedup_vs_buffering, flow_speedup_monoid_vs_buffering, join_pane_memory}' "$OUT"

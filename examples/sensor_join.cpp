@@ -2,18 +2,25 @@
 // rangefinder scans from two sensors that observed (almost) the same
 // geometry, within aligned time windows — the llj/alj/hlj experiments.
 //
-// The join runs three ways — Dedicated, AggBased (Listing 2 + Listing 3),
-// and A+ — and the example verifies all three agree (Theorem 2, live).
+// The join runs five ways — Dedicated on the pane store, Dedicated on the
+// per-instance buffering store, AggBased (Listing 2 + Listing 3) on both
+// the buffering and the sliced-replay window backend, and A+ — and the
+// example verifies all five agree (Theorem 2, live) while printing each
+// backend's peak occupancy: the pane store holds each scan once where the
+// buffering stores hold one copy per overlapping instance.
 //
 //   $ ./sensor_join
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "aggbased/aplus.hpp"
 #include "aggbased/join.hpp"
 #include "core/operators/join.hpp"
+#include "core/operators/join_buffering.hpp"
 #include "core/operators/sink.hpp"
 #include "core/operators/source.hpp"
+#include "core/swa/backends.hpp"
 #include "workloads/scans.hpp"
 
 using namespace aggspes;
@@ -40,56 +47,90 @@ int main() {
   };
 
   using Match = std::pair<Scan2D, Scan2D>;
-  auto run = [&](auto&& wire) {
+  // wire(...) builds the pipeline and returns a closure reporting the
+  // backend's peak tuple occupancy once the run finished.
+  auto run = [&](const char* name, auto&& wire) {
     Flow flow;
     auto& src_a = flow.add<TimedSource<Scan2D>>(stream_a, /*period=*/100,
                                                 /*flush_to=*/5500);
     auto& src_b = flow.add<TimedSource<Scan2D>>(stream_b, /*period=*/100,
                                                 /*flush_to=*/5500);
     auto& sink = flow.add<CollectorSink<Match>>();
-    wire(flow, src_a, src_b, sink);
+    auto peak = wire(flow, src_a, src_b, sink);
     flow.run();
     std::multiset<std::pair<Timestamp, std::pair<int, int>>> ids;
     for (const auto& t : sink.tuples()) {
       ids.emplace(t.ts,
                   std::make_pair(t.value.first.id, t.value.second.id));
     }
+    std::cout << "  " << name << ": matches=" << ids.size()
+              << " peak_stored=" << peak() << "\n";
     return ids;
   };
 
-  auto dedicated = run([&](Flow& f, auto& a, auto& b, auto& sink) {
+  auto dedicated = run("dedicated/pane      ",
+                       [&](Flow& f, auto& a, auto& b, auto& sink) {
     auto& op = f.add<JoinOp<Scan2D, Scan2D, int>>(spec, key, key, pred);
     f.connect(a.out(), op.in_left());
     f.connect(b.out(), op.in_right());
     f.connect(op.out(), sink.in());
+    return [&op] { return op.peak_occupancy(); };
   });
 
-  auto aggbased = run([&](Flow& f, auto& a, auto& b, auto& sink) {
-    AggBasedJoin<Scan2D, Scan2D, int> op(f, spec, key, key, pred,
-                                         /*lateness=*/100);
-    f.connect(a.out(), op.left_in());
-    f.connect(b.out(), op.right_in());
+  auto buffering = run("dedicated/buffering ",
+                       [&](Flow& f, auto& a, auto& b, auto& sink) {
+    auto& op =
+        f.add<BufferingJoinOp<Scan2D, Scan2D, int>>(spec, key, key, pred);
+    f.connect(a.out(), op.in_left());
+    f.connect(b.out(), op.in_right());
     f.connect(op.out(), sink.in());
+    return [&op] { return op.peak_occupancy(); };
   });
 
-  auto aplus = run([&](Flow& f, auto& a, auto& b, auto& sink) {
-    AplusJoin<Scan2D, Scan2D, int> op(f, spec, key, key, pred);
-    f.connect(a.out(), op.left_in());
-    f.connect(b.out(), op.right_in());
-    f.connect(op.out(), sink.in());
+  auto aggbased = run("aggbased/buffering  ",
+                      [&](Flow& f, auto& a, auto& b, auto& sink) {
+    auto op = std::make_shared<AggBasedJoin<Scan2D, Scan2D, int>>(
+        f, spec, key, key, pred, /*lateness=*/100);
+    f.connect(a.out(), op->left_in());
+    f.connect(b.out(), op->right_in());
+    f.connect(op->out(), sink.in());
+    return [op] { return op->match().machine().peak_occupancy(); };
   });
 
-  std::cout << "scan pairs matched: dedicated=" << dedicated.size()
-            << " aggbased=" << aggbased.size() << " a+=" << aplus.size()
-            << "\n";
-  std::cout << "aggbased == dedicated: " << std::boolalpha
-            << (aggbased == dedicated) << "\n";
-  std::cout << "a+       == dedicated: " << (aplus == dedicated) << "\n";
+  auto sliced = run("aggbased/sliced     ",
+                    [&](Flow& f, auto& a, auto& b, auto& sink) {
+    auto op = std::make_shared<
+        AggBasedJoin<Scan2D, Scan2D, int, swa::SlicedWindowMachine>>(
+        f, spec, key, key, pred, /*lateness=*/100);
+    f.connect(a.out(), op->left_in());
+    f.connect(b.out(), op->right_in());
+    f.connect(op->out(), sink.in());
+    return [op] { return op->match().machine().peak_occupancy(); };
+  });
+
+  auto aplus = run("a+                  ",
+                   [&](Flow& f, auto& a, auto& b, auto& sink) {
+    auto op = std::make_shared<AplusJoin<Scan2D, Scan2D, int>>(f, spec, key,
+                                                               key, pred);
+    f.connect(a.out(), op->left_in());
+    f.connect(b.out(), op->right_in());
+    f.connect(op->out(), sink.in());
+    return [op] { return op->match().machine().peak_occupancy(); };
+  });
+
+  std::cout << "pane      == buffering: " << std::boolalpha
+            << (dedicated == buffering) << "\n";
+  std::cout << "aggbased  == dedicated: " << (aggbased == dedicated) << "\n";
+  std::cout << "sliced    == dedicated: " << (sliced == dedicated) << "\n";
+  std::cout << "a+        == dedicated: " << (aplus == dedicated) << "\n";
   int shown = 0;
   for (const auto& [ts, ids] : dedicated) {
     if (++shown > 5) break;
     std::cout << "  window ending t=" << ts << ": scan #" << ids.first
               << " ~ scan #" << ids.second << "\n";
   }
-  return aggbased == dedicated && aplus == dedicated ? 0 : 1;
+  return dedicated == buffering && aggbased == dedicated &&
+                 sliced == dedicated && aplus == dedicated
+             ? 0
+             : 1;
 }

@@ -16,10 +16,12 @@ namespace aggspes {
 
 /// A+-based FlatMap: a single A+ with a δ-tumbling window keyed by all
 /// attributes, emitting every f_FM output directly (Listing 1 minus the
-/// envelope).
-template <typename In, typename Out, typename FlowT>
-AggregatePlusOp<In, Out, In>& make_aplus_flatmap(FlowT& flow,
-                                                 FlatMapFn<In, Out> f_fm) {
+/// envelope). `MachineT` selects the window backend.
+template <typename In, typename Out,
+          template <typename, typename> class MachineT = WindowMachine,
+          typename FlowT>
+AggregatePlusOp<In, Out, In, MachineT<In, In>>& make_aplus_flatmap(
+    FlowT& flow, FlatMapFn<In, Out> f_fm) {
   WindowSpec spec{.advance = kDelta, .size = kDelta};
   auto f_o = [f = std::move(f_fm)](const WindowView<In, In>& w) {
     std::vector<Out> all;
@@ -30,18 +32,21 @@ AggregatePlusOp<In, Out, In>& make_aplus_flatmap(FlowT& flow,
     }
     return all;
   };
-  return flow.template add<AggregatePlusOp<In, Out, In>>(
+  return flow.template add<AggregatePlusOp<In, Out, In, MachineT<In, In>>>(
       spec, [](const In& v) { return v; }, std::move(f_o));
 }
 
 /// A+-based Join: Listing 2's A1/A2 side wrappers (still minimal A's — one
 /// output per instance) feeding an A+ A3 that emits each matching pair as
-/// its own tuple.
-template <typename L, typename R, typename Key>
+/// its own tuple. `MachineT` selects the backend of the A3 match window
+/// (the only window that overlaps; A1/A2 are δ-tumbling and stay default).
+template <typename L, typename R, typename Key,
+          template <typename, typename> class MachineT = WindowMachine>
 class AplusJoin {
  public:
   using Sides = JoinSides<L, R>;
   using Out = std::pair<L, R>;
+  using Match = AggregatePlusOp<Sides, Out, Key, MachineT<Sides, Key>>;
 
   template <typename FlowT>
   AplusJoin(FlowT& flow, WindowSpec join_spec,
@@ -63,9 +68,9 @@ class AplusJoin {
   NodeBase& right_in_node() { return a2_; }
   NodeBase& out_node() { return a3_; }
 
- private:
-  using Match = AggregatePlusOp<Sides, Out, Key>;
+  Match& match() { return a3_; }
 
+ private:
   template <typename FlowT>
   static Match& make_match(FlowT& flow, WindowSpec spec,
                            std::function<Key(const L&)> f_k1,

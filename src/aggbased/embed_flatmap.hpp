@@ -24,9 +24,13 @@ template <typename In, typename Out>
 using FlatMapFn = std::function<std::vector<Out>(const In&)>;
 
 /// Builds the Listing 1 Aggregate. `In` must be equality-comparable and
-/// hashable (it is used as the key).
-template <typename In, typename Out, typename FlowT>
-AggregateOp<In, Embedded<Out>, In>& make_embed_flatmap(
+/// hashable (it is used as the key). `MachineT` selects the window backend
+/// of the embedding A — WindowMachine (buffering) or
+/// swa::SlicedWindowMachine (single-copy pane storage).
+template <typename In, typename Out,
+          template <typename, typename> class MachineT = WindowMachine,
+          typename FlowT>
+AggregateOp<In, Embedded<Out>, In, MachineT<In, In>>& make_embed_flatmap(
     FlowT& flow, FlatMapFn<In, Out> f_fm) {
   WindowSpec spec{.advance = kDelta, .size = kDelta};
   auto key_all = [](const In& v) { return v; };
@@ -42,8 +46,8 @@ AggregateOp<In, Embedded<Out>, In>& make_embed_flatmap(
     if (outputs.empty()) return std::nullopt;  // f_FM returned no tuples
     return Embedded<Out>{std::move(outputs), kFromEmbed};
   };
-  return flow.template add<AggregateOp<In, Embedded<Out>, In>>(spec, key_all,
-                                                      std::move(f_o));
+  return flow.template add<AggregateOp<In, Embedded<Out>, In, MachineT<In, In>>>(
+      spec, key_all, std::move(f_o));
 }
 
 }  // namespace aggspes

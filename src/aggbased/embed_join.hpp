@@ -92,12 +92,16 @@ void cartesian_match(const WindowView<JoinSides<L, R>, Key>& w,
 }  // namespace detail
 
 /// The three Listing 2 Aggregates, wired A1/A2 → A3. Feed the two input
-/// streams to `left_in()` / `right_in()`; consume `out()`.
-template <typename L, typename R, typename Key>
+/// streams to `left_in()` / `right_in()`; consume `out()`. `MachineT`
+/// selects the backend of A3's Γ(WA, WS) window — the only one that
+/// overlaps (A1/A2 are δ-tumbling and keep the default).
+template <typename L, typename R, typename Key,
+          template <typename, typename> class MachineT = WindowMachine>
 class EmbedJoin {
  public:
   using Sides = JoinSides<L, R>;
   using Out = Embedded<std::pair<L, R>>;
+  using Match = AggregateOp<Sides, Out, Key, MachineT<Sides, Key>>;
   using LeftKeyFn = std::function<Key(const L&)>;
   using RightKeyFn = std::function<Key(const R&)>;
   using Predicate = std::function<bool(const L&, const R&)>;
@@ -120,9 +124,9 @@ class EmbedJoin {
   NodeBase& right_in_node() { return a2_; }
   NodeBase& out_node() { return a3_; }
 
- private:
-  using Match = AggregateOp<Sides, Out, Key>;
+  Match& match() { return a3_; }
 
+ private:
   template <typename FlowT>
   static Match& make_match(FlowT& flow, WindowSpec spec, LeftKeyFn f_k1,
                            RightKeyFn f_k2, Predicate f_p) {

@@ -12,14 +12,19 @@
 
 namespace aggspes {
 
-/// Handle to a wired AggBased FM composition.
-template <typename In, typename Out>
+/// Handle to a wired AggBased FM composition. `MachineT` selects the
+/// window backend of the embedding A (the Unfold's internal A1 keeps the
+/// default: its δ-tumbling window never overlaps, so slicing buys nothing).
+template <typename In, typename Out,
+          template <typename, typename> class MachineT = WindowMachine>
 class AggBasedFlatMap {
  public:
+  using Embed = AggregateOp<In, Embedded<Out>, In, MachineT<In, In>>;
+
   /// `lateness` must be >= the input stream's watermark spacing D (C1).
   template <typename FlowT>
   AggBasedFlatMap(FlowT& flow, FlatMapFn<In, Out> f_fm, Timestamp lateness)
-      : embed_(make_embed_flatmap<In, Out>(flow, std::move(f_fm))),
+      : embed_(make_embed_flatmap<In, Out, MachineT>(flow, std::move(f_fm))),
         x_(flow, lateness) {
     flow.connect(embed_, embed_.out(), x_.in_node(), x_.in());
   }
@@ -29,10 +34,11 @@ class AggBasedFlatMap {
   NodeBase& in_node() { return embed_; }
   NodeBase& out_node() { return x_.out_node(); }
 
+  Embed& embed() { return embed_; }
   const UnfoldX<Out>& unfold() const { return x_; }
 
  private:
-  AggregateOp<In, Embedded<Out>, In>& embed_;
+  Embed& embed_;
   UnfoldX<Out> x_;
 };
 

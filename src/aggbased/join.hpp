@@ -11,10 +11,13 @@
 
 namespace aggspes {
 
-template <typename L, typename R, typename Key>
+/// `MachineT` selects the backend of the embedded join's A3 match window.
+template <typename L, typename R, typename Key,
+          template <typename, typename> class MachineT = WindowMachine>
 class AggBasedJoin {
  public:
   using Out = std::pair<L, R>;
+  using Match = typename EmbedJoin<L, R, Key, MachineT>::Match;
 
   template <typename FlowT>
   AggBasedJoin(FlowT& flow, WindowSpec join_spec,
@@ -35,8 +38,10 @@ class AggBasedJoin {
   NodeBase& right_in_node() { return embed_.right_in_node(); }
   NodeBase& out_node() { return x_.out_node(); }
 
+  Match& match() { return embed_.match(); }
+
  private:
-  EmbedJoin<L, R, Key> embed_;
+  EmbedJoin<L, R, Key, MachineT> embed_;
   UnfoldX<Out> x_;
 };
 

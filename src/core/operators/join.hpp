@@ -9,16 +9,31 @@
 // tuples of the other side, so results do not wait for watermarks. The
 // watermark is used to discard instance pairs that can produce no further
 // result (γ.l + WS ≤ W, § 2.3). Per § 3 the paper assumes L = 0 for J.
+//
+// Storage goes through the JoinPaneStore (DESIGN.md § 9): each tuple is
+// held once, in its gcd(WA, WS)-wide pane, and a probe of instance l walks
+// the panes in [l, l + WS) in global arrival order — so output, comparison
+// counts and late-drop counts are element-identical to the per-instance
+// BufferingJoinOp (core/operators/join_buffering.hpp) while memory stops
+// scaling with the WS/WA overlap ratio.
+//
+// Snapshot codec: versioned. Version 2 persists the pane store; the
+// pre-pane layout (whose first post-base byte was a has_state bool of 0/1,
+// disjoint from version tags >= 2) is read as version 1 and migrated: each
+// tuple of the per-instance snapshot is accepted from the first live
+// instance containing it and dropped from later ones. Per-(instance, key)
+// arrival order of each side is preserved; the exact cross-instance
+// interleaving is not recorded in the legacy format and is reconstructed
+// in instance order.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/operators/operator_base.hpp"
+#include "core/swa/join_store.hpp"
 #include "core/window.hpp"
 
 namespace aggspes {
@@ -30,59 +45,51 @@ class JoinOp final : public BinaryNode<L, R, std::pair<L, R>> {
   using LeftKeyFn = std::function<Key(const L&)>;
   using RightKeyFn = std::function<Key(const R&)>;
   using Predicate = std::function<bool(const L&, const R&)>;
+  using Store = swa::JoinPaneStore<L, R, Key>;
 
   JoinOp(WindowSpec spec, LeftKeyFn f_k1, RightKeyFn f_k2, Predicate f_p)
       : spec_(spec),
         f_k1_(std::move(f_k1)),
         f_k2_(std::move(f_k2)),
-        f_p_(std::move(f_p)) {}
+        f_p_(std::move(f_p)),
+        store_(spec) {}
 
   std::uint64_t comparisons() const { return comparisons_; }
   std::uint64_t dropped_late() const { return dropped_late_; }
 
+  const Store& store() const { return store_; }
+  std::uint64_t peak_occupancy() const { return store_.peak_occupancy(); }
+  std::uint64_t peak_panes() const { return store_.peak_panes(); }
+  void reset_diagnostics() { store_.reset_diagnostics(); }
+
   void snapshot_to(SnapshotWriter& w) const override {
     this->save_base(w);
     if constexpr (kSerializable) {
-      w.write_bool(true);
-      w.write_size(instances_.size());
-      for (const auto& [l, keys] : instances_) {
-        w.write_i64(l);
-        w.write_size(keys.size());
-        for (const auto& [key, cell] : keys) {
-          write_value(w, key);
-          write_value(w, cell.lefts);
-          write_value(w, cell.rights);
-        }
-      }
+      w.write_pod<std::uint8_t>(kCodecVersion);
+      store_.save(w);
       w.write_u64(comparisons_);
       w.write_u64(dropped_late_);
     } else {
-      w.write_bool(false);
+      w.write_pod<std::uint8_t>(0);  // no state (payload lacks a codec)
     }
   }
 
   void restore_from(SnapshotReader& r) override {
     this->load_base(r);
-    const bool has_state = r.read_bool();
+    const std::uint8_t version = r.read_pod<std::uint8_t>();
+    if (version == 0) return;  // snapshot taken without a codec
     if constexpr (kSerializable) {
-      if (!has_state) return;
-      instances_.clear();
-      const std::size_t n_instances = r.read_size();
-      for (std::size_t i = 0; i < n_instances; ++i) {
-        const Timestamp l = r.read_i64();
-        auto& keys = instances_[l];
-        const std::size_t n_keys = r.read_size();
-        for (std::size_t k = 0; k < n_keys; ++k) {
-          Key key = read_value<Key>(r);
-          Cell cell;
-          cell.lefts = read_value<std::vector<Tuple<L>>>(r);
-          cell.rights = read_value<std::vector<Tuple<R>>>(r);
-          keys.emplace(std::move(key), std::move(cell));
-        }
+      if (version == 1) {
+        migrate_per_instance(r);
+      } else if (version == kCodecVersion) {
+        store_.load(r);
+      } else {
+        throw SnapshotError("unknown JoinOp codec version " +
+                            std::to_string(version));
       }
       comparisons_ = r.read_u64();
       dropped_late_ = r.read_u64();
-    } else if (has_state) {
+    } else {
       throw SnapshotError("JoinOp payload lacks a StateCodec");
     }
   }
@@ -90,41 +97,40 @@ class JoinOp final : public BinaryNode<L, R, std::pair<L, R>> {
  protected:
   void on_left(const Tuple<L>& t) override {
     const Key key = f_k1_(t.value);
+    bool stored = false;
     for_each_open_instance(t.ts, [&](Timestamp l) {
-      Cell& cell = instances_[l][key];
-      for (const Tuple<R>& r : cell.rights) {
+      store_.for_each_right(l, key, [&](const Tuple<R>& r) {
         ++comparisons_;
         if (f_p_(t.value, r.value)) emit(l, t, r);
+      });
+      if (!stored) {
+        store_.add_left(key, t);
+        stored = true;
       }
-      cell.lefts.push_back(t);
     });
   }
 
   void on_right(const Tuple<R>& t) override {
     const Key key = f_k2_(t.value);
+    bool stored = false;
     for_each_open_instance(t.ts, [&](Timestamp l) {
-      Cell& cell = instances_[l][key];
-      for (const Tuple<L>& lft : cell.lefts) {
+      store_.for_each_left(l, key, [&](const Tuple<L>& lft) {
         ++comparisons_;
         if (f_p_(lft.value, t.value)) emit(l, lft, t);
+      });
+      if (!stored) {
+        store_.add_right(key, t);
+        stored = true;
       }
-      cell.rights.push_back(t);
     });
   }
 
   void on_watermark(Timestamp w) override {
-    // Discard aligned instance pairs that cannot produce further results.
-    while (!instances_.empty() && spec_.closes(instances_.begin()->first, w))
-      instances_.erase(instances_.begin());
+    store_.purge_closed(w);
     this->out_.push_watermark(w);
   }
 
  private:
-  struct Cell {
-    std::vector<Tuple<L>> lefts;
-    std::vector<Tuple<R>> rights;
-  };
-
   template <typename Fn>
   void for_each_open_instance(Timestamp ts, Fn&& fn) {
     const Timestamp w = this->watermark();
@@ -137,6 +143,41 @@ class JoinOp final : public BinaryNode<L, R, std::pair<L, R>> {
     });
   }
 
+  /// Reads a version-1 (per-instance) snapshot into the pane store. The
+  /// legacy layout stores a tuple once per live instance containing it;
+  /// live instances form a suffix of the instance sequence and stream in
+  /// ascending order, so a tuple's first appearance is in the earliest
+  /// live instance containing it: accept it there — i.e. when the
+  /// previously processed instance precedes first_instance(ts) — and skip
+  /// the later duplicates.
+  void migrate_per_instance(SnapshotReader& r) {
+    store_.clear();
+    bool have_prev = false;
+    Timestamp prev_l = 0;
+    const std::size_t n_instances = r.read_size();
+    for (std::size_t i = 0; i < n_instances; ++i) {
+      const Timestamp l = r.read_i64();
+      const std::size_t n_keys = r.read_size();
+      for (std::size_t k = 0; k < n_keys; ++k) {
+        Key key = read_value<Key>(r);
+        auto lefts = read_value<std::vector<Tuple<L>>>(r);
+        auto rights = read_value<std::vector<Tuple<R>>>(r);
+        for (const Tuple<L>& t : lefts) {
+          if (!have_prev || prev_l < spec_.first_instance(t.ts)) {
+            store_.add_left(key, t);
+          }
+        }
+        for (const Tuple<R>& t : rights) {
+          if (!have_prev || prev_l < spec_.first_instance(t.ts)) {
+            store_.add_right(key, t);
+          }
+        }
+      }
+      have_prev = true;
+      prev_l = l;
+    }
+  }
+
   void emit(Timestamp l, const Tuple<L>& a, const Tuple<R>& b) {
     this->out_.push_tuple(
         Tuple<Out>{spec_.output_ts(l), a.stamp > b.stamp ? a.stamp : b.stamp,
@@ -146,12 +187,13 @@ class JoinOp final : public BinaryNode<L, R, std::pair<L, R>> {
   static constexpr bool kSerializable = SnapshotSerializable<L> &&
                                         SnapshotSerializable<R> &&
                                         SnapshotSerializable<Key>;
+  static constexpr std::uint8_t kCodecVersion = 2;
 
   WindowSpec spec_;
   LeftKeyFn f_k1_;
   RightKeyFn f_k2_;
   Predicate f_p_;
-  std::map<Timestamp, std::unordered_map<Key, Cell>> instances_;
+  Store store_;
   std::uint64_t comparisons_{0};
   std::uint64_t dropped_late_{0};
 };

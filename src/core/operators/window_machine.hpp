@@ -63,6 +63,10 @@ class WindowMachine {
       }
       Bucket& b = instances_[l][key];
       b.items.push_back(t);
+      if (++occupancy_ > peak_occupancy_) peak_occupancy_ = occupancy_;
+      if (instances_.size() > peak_instances_) {
+        peak_instances_ = instances_.size();
+      }
       if (added) added(l, key, b.items);
       if (spec_.closes(l, w)) {
         // The instance's result was (or would have been) already produced:
@@ -91,10 +95,18 @@ class WindowMachine {
           fire(l, key, bucket.items, false);
         }
       }
-      if (spec_.lateness == 0) it->second.clear();  // purged below
+      if (spec_.lateness == 0) {
+        for (const auto& [key, bucket] : it->second) {
+          occupancy_ -= bucket.items.size();
+        }
+        it->second.clear();  // purged below
+      }
     }
     while (!instances_.empty() &&
            spec_.purgeable(instances_.begin()->first, w)) {
+      for (const auto& [key, bucket] : instances_.begin()->second) {
+        occupancy_ -= bucket.items.size();
+      }
       instances_.erase(instances_.begin());
     }
   }
@@ -111,12 +123,27 @@ class WindowMachine {
       }
     }
     instances_.clear();
+    occupancy_ = 0;
   }
 
   std::uint64_t dropped_late() const { return dropped_late_; }
   std::uint64_t late_updates() const { return late_updates_; }
   std::uint64_t fired_instances() const { return fired_instances_; }
   std::size_t open_instances() const { return instances_.size(); }
+
+  /// Occupancy diagnostics: tuple copies currently buffered (one per
+  /// overlapping instance — the fan-out the sliced backends avoid) and
+  /// high-water marks since the last reset_diagnostics(). peak_panes()
+  /// reports peak open *instances* for this backend, so harness A/B rows
+  /// stay comparable with the pane stores.
+  std::uint64_t occupancy() const { return occupancy_; }
+  std::uint64_t peak_occupancy() const { return peak_occupancy_; }
+  std::uint64_t peak_panes() const { return peak_instances_; }
+  void reset_diagnostics() {
+    peak_occupancy_ = occupancy_;
+    peak_instances_ = instances_.size();
+    late_probe_.reset();
+  }
 
   /// Installs a rate-limited diagnostic hook for late tuples (drops and
   /// update re-fires). Replaces the old stderr diagnostic: counters stay
@@ -151,6 +178,7 @@ class WindowMachine {
 
   void load(SnapshotReader& r) {
     instances_.clear();
+    occupancy_ = 0;
     const std::size_t n_instances = r.read_size();
     for (std::size_t i = 0; i < n_instances; ++i) {
       const Timestamp l = r.read_i64();
@@ -161,12 +189,15 @@ class WindowMachine {
         Bucket b;
         b.items = read_value<std::vector<Tuple<In>>>(r);
         b.fired = r.read_bool();
+        occupancy_ += b.items.size();
         keys.emplace(std::move(key), std::move(b));
       }
     }
     dropped_late_ = r.read_u64();
     late_updates_ = r.read_u64();
     fired_instances_ = r.read_u64();
+    peak_occupancy_ = occupancy_;
+    peak_instances_ = instances_.size();
   }
 
  private:
@@ -181,6 +212,9 @@ class WindowMachine {
   std::uint64_t dropped_late_{0};
   std::uint64_t late_updates_{0};
   std::uint64_t fired_instances_{0};
+  std::uint64_t occupancy_{0};
+  std::uint64_t peak_occupancy_{0};
+  std::size_t peak_instances_{0};
   LateProbe late_probe_;
 };
 

@@ -1,0 +1,213 @@
+// Shared pane store for the dedicated windowed Join (DESIGN.md § 9).
+//
+// The buffering J copies every tuple into each of its WS/WA overlapping
+// instances; this store keeps both sides' tuples exactly once, in panes of
+// width g = gcd(WA, WS) — the same slicing as SlicedEngine — and answers a
+// probe of instance l by walking the panes in [l, l + WS). Every stored
+// tuple carries a global arrival sequence number shared across both sides,
+// so a probe materializes the other side's tuples in exactly the order the
+// per-instance cell would have held them (arrival order), which is what
+// keeps the pane-backed JoinOp's output element-identical to the buffering
+// one.
+//
+// A pane dies once the *last* instance containing it is closed by the
+// watermark (L = 0 for J, § 3): closes is monotone in w and antitone in l,
+// so no open instance can still reach the pane.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/recovery/snapshot.hpp"
+#include "core/swa/pane.hpp"
+#include "core/types.hpp"
+#include "core/window.hpp"
+
+namespace aggspes::swa {
+
+template <typename L, typename R, typename Key>
+class JoinPaneStore {
+ public:
+  template <typename T>
+  struct Entry {
+    std::uint64_t seq{0};  ///< global arrival order across both sides
+    Tuple<T> t;
+  };
+  struct Cell {
+    std::vector<Entry<L>> lefts;
+    std::vector<Entry<R>> rights;
+  };
+  using PaneMap = std::map<Timestamp, std::unordered_map<Key, Cell>>;
+
+  explicit JoinPaneStore(WindowSpec spec)
+      : spec_(spec), geom_(PaneGeometry::of(spec)) {}
+
+  const WindowSpec& spec() const { return spec_; }
+  const PaneGeometry& geometry() const { return geom_; }
+
+  /// Stores `t` exactly once, in its pane. Callers only store tuples that
+  /// fall in at least one open instance.
+  void add_left(const Key& key, const Tuple<L>& t) {
+    cell(key, t.ts).lefts.push_back({next_seq_++, t});
+    bump_occupancy();
+  }
+
+  void add_right(const Key& key, const Tuple<R>& t) {
+    cell(key, t.ts).rights.push_back({next_seq_++, t});
+    bump_occupancy();
+  }
+
+  /// Invokes fn(tuple) for every left-side tuple of `key` falling in
+  /// instance l, in global arrival order — the contents the buffering
+  /// join's per-instance cell would hold.
+  template <typename Fn>
+  void for_each_left(Timestamp l, const Key& key, Fn&& fn) {
+    probe(l, key, left_scratch_,
+          [](const Cell& c) -> const std::vector<Entry<L>>& {
+            return c.lefts;
+          });
+    for (const Entry<L>* e : left_scratch_) fn(e->t);
+  }
+
+  template <typename Fn>
+  void for_each_right(Timestamp l, const Key& key, Fn&& fn) {
+    probe(l, key, right_scratch_,
+          [](const Cell& c) -> const std::vector<Entry<R>>& {
+            return c.rights;
+          });
+    for (const Entry<R>* e : right_scratch_) fn(e->t);
+  }
+
+  /// Erases panes no open instance can reach (the pane analogue of the
+  /// buffering join's closed-instance discard).
+  void purge_closed(Timestamp w) {
+    while (!panes_.empty()) {
+      auto it = panes_.begin();
+      if (!spec_.closes(spec_.last_instance(it->first), w)) break;
+      for (const auto& [key, c] : it->second) {
+        occupancy_ -= c.lefts.size() + c.rights.size();
+      }
+      panes_.erase(it);
+    }
+  }
+
+  void clear() {
+    panes_.clear();
+    occupancy_ = 0;
+    next_seq_ = 0;
+  }
+
+  /// Occupancy diagnostics: tuples currently stored (each exactly once),
+  /// open panes, and high-water marks since the last reset_diagnostics().
+  std::uint64_t occupancy() const { return occupancy_; }
+  std::uint64_t peak_occupancy() const { return peak_occupancy_; }
+  std::size_t open_panes() const { return panes_.size(); }
+  std::uint64_t peak_panes() const { return peak_panes_; }
+  void reset_diagnostics() {
+    peak_occupancy_ = occupancy_;
+    peak_panes_ = panes_.size();
+  }
+
+  /// Serializes pane cells and the arrival-sequence cursor. Occupancy
+  /// diagnostics are recomputed on load.
+  void save(SnapshotWriter& w) const {
+    w.write_size(panes_.size());
+    for (const auto& [p, cells] : panes_) {
+      w.write_i64(p);
+      w.write_size(cells.size());
+      for (const auto& [key, c] : cells) {
+        write_value(w, key);
+        save_entries(w, c.lefts);
+        save_entries(w, c.rights);
+      }
+    }
+    w.write_u64(next_seq_);
+  }
+
+  void load(SnapshotReader& r) {
+    clear();
+    const std::size_t n_panes = r.read_size();
+    for (std::size_t i = 0; i < n_panes; ++i) {
+      const Timestamp p = r.read_i64();
+      auto& cells = panes_[p];
+      const std::size_t n_cells = r.read_size();
+      for (std::size_t c = 0; c < n_cells; ++c) {
+        Key key = read_value<Key>(r);
+        Cell cell;
+        load_entries(r, cell.lefts);
+        load_entries(r, cell.rights);
+        occupancy_ += cell.lefts.size() + cell.rights.size();
+        cells.emplace(std::move(key), std::move(cell));
+      }
+    }
+    next_seq_ = r.read_u64();
+    peak_occupancy_ = occupancy_;
+    peak_panes_ = panes_.size();
+  }
+
+ private:
+  Cell& cell(const Key& key, Timestamp ts) {
+    return panes_[geom_.pane_of(ts)][key];
+  }
+
+  /// Collects pointers to one side's entries across the instance's pane
+  /// range and sorts them by the global sequence tag: panes are
+  /// time-ordered but arrival interleaves across panes.
+  template <typename E, typename Side>
+  void probe(Timestamp l, const Key& key, std::vector<const E*>& scratch,
+             Side&& side) {
+    scratch.clear();
+    const Timestamp end = l + spec_.size;
+    for (auto it = panes_.lower_bound(l); it != panes_.end() && it->first < end;
+         ++it) {
+      auto c = it->second.find(key);
+      if (c == it->second.end()) continue;
+      for (const E& e : side(c->second)) scratch.push_back(&e);
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const E* a, const E* b) { return a->seq < b->seq; });
+  }
+
+  template <typename T>
+  static void save_entries(SnapshotWriter& w,
+                           const std::vector<Entry<T>>& v) {
+    w.write_size(v.size());
+    for (const Entry<T>& e : v) {
+      w.write_u64(e.seq);
+      write_value(w, e.t);
+    }
+  }
+
+  template <typename T>
+  static void load_entries(SnapshotReader& r, std::vector<Entry<T>>& v) {
+    const std::size_t n = r.read_size();
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Entry<T> e;
+      e.seq = r.read_u64();
+      e.t = read_value<Tuple<T>>(r);
+      v.push_back(std::move(e));
+    }
+  }
+
+  void bump_occupancy() {
+    if (++occupancy_ > peak_occupancy_) peak_occupancy_ = occupancy_;
+    if (panes_.size() > peak_panes_) peak_panes_ = panes_.size();
+  }
+
+  WindowSpec spec_;
+  PaneGeometry geom_;
+  PaneMap panes_;
+  std::uint64_t next_seq_{0};
+  std::uint64_t occupancy_{0};
+  std::uint64_t peak_occupancy_{0};
+  std::uint64_t peak_panes_{0};
+  std::vector<const Entry<L>*> left_scratch_;
+  std::vector<const Entry<R>*> right_scratch_;
+};
+
+}  // namespace aggspes::swa

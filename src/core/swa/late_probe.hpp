@@ -46,6 +46,11 @@ class LateProbe {
   /// Total late events offered to the probe (sampled or not).
   std::uint64_t observed() const { return observed_; }
 
+  /// Restarts the rate-limit window (the next event is sampled again).
+  /// Harness runs call this so diagnostics never bleed across A/B
+  /// repetitions; the hook and `every` survive the reset.
+  void reset() { observed_ = 0; }
+
  private:
   Fn fn_;
   std::uint64_t every_{1024};

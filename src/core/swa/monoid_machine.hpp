@@ -52,6 +52,10 @@ class MonoidPolicy {
     if (pane_l < frontier_) ++version_;  // pane inside built stacks mutated
   }
 
+  /// Tuples folded into a cell — its contribution to the engine's
+  /// occupancy diagnostics (the partial itself is O(1) regardless).
+  static std::size_t cell_count(const Cell& c) { return c.count; }
+
   template <typename PaneMap>
   const Result& evaluate(const PaneMap& panes, const WindowSpec& spec,
                          const PaneGeometry& geom, Timestamp l,

@@ -171,12 +171,26 @@ class SlicedEngine {
     pane_cache_ = nullptr;
     have_cursor_ = false;
     cursor_ = 0;
+    occupancy_ = 0;
   }
 
   std::uint64_t dropped_late() const { return dropped_late_; }
   std::uint64_t late_updates() const { return late_updates_; }
   std::uint64_t fired_instances() const { return fired_instances_; }
   std::size_t open_panes() const { return panes_.size(); }
+
+  /// Occupancy diagnostics: tuples currently stored (each exactly once —
+  /// Policy::cell_count reports a cell's contribution, entries for replay,
+  /// folded count for monoid partials) and high-water marks since the last
+  /// reset_diagnostics().
+  std::uint64_t occupancy() const { return occupancy_; }
+  std::uint64_t peak_occupancy() const { return peak_occupancy_; }
+  std::uint64_t peak_panes() const { return peak_panes_; }
+  void reset_diagnostics() {
+    peak_occupancy_ = occupancy_;
+    peak_panes_ = panes_.size();
+    late_probe_.reset();
+  }
 
   /// Number of instances holding data and not yet purged (WindowMachine's
   /// open_instances analogue). O(instances) — diagnostics/tests only.
@@ -236,6 +250,7 @@ class SlicedEngine {
   void load(SnapshotReader& r) {
     panes_.clear();
     fired_.clear();
+    occupancy_ = 0;
     const std::size_t n_panes = r.read_size();
     for (std::size_t i = 0; i < n_panes; ++i) {
       const Timestamp p = r.read_i64();
@@ -243,7 +258,8 @@ class SlicedEngine {
       const std::size_t n_cells = r.read_size();
       for (std::size_t c = 0; c < n_cells; ++c) {
         Key key = read_value<Key>(r);
-        cells.emplace(std::move(key), policy_.load_cell(r));
+        auto cell = cells.emplace(std::move(key), policy_.load_cell(r));
+        occupancy_ += Policy::cell_count(cell.first->second);
       }
     }
     const std::size_t n_fired = r.read_size();
@@ -268,6 +284,8 @@ class SlicedEngine {
     active_keys_.clear();
     union_valid_ = false;
     pane_cache_ = nullptr;
+    peak_occupancy_ = occupancy_;
+    peak_panes_ = panes_.size();
   }
 
  private:
@@ -283,6 +301,8 @@ class SlicedEngine {
     }
     auto [cell, inserted] = pane_cache_->try_emplace(key);
     policy_.absorb(cell->second, pane_l, t, next_seq_++);
+    if (++occupancy_ > peak_occupancy_) peak_occupancy_ = occupancy_;
+    if (panes_.size() > peak_panes_) peak_panes_ = panes_.size();
     if (inserted && union_valid_ && pane_l >= union_from_ &&
         pane_l < union_to_) {
       ++active_keys_[key];  // keep the fire walk's key-union exact
@@ -354,6 +374,9 @@ class SlicedEngine {
         drop_pane_keys(p);  // keep a lagging key-union consistent
       }
       if (pane_cache_l_ == p) pane_cache_ = nullptr;
+      for (const auto& [key, cell] : panes_.begin()->second) {
+        occupancy_ -= Policy::cell_count(cell);
+      }
       panes_.erase(panes_.begin());
     }
     // First non-purgeable instance: smallest multiple of WA > w - WS - L.
@@ -394,6 +417,9 @@ class SlicedEngine {
   std::uint64_t dropped_late_{0};
   std::uint64_t late_updates_{0};
   std::uint64_t fired_instances_{0};
+  std::uint64_t occupancy_{0};
+  std::uint64_t peak_occupancy_{0};
+  std::uint64_t peak_panes_{0};
   LateProbe late_probe_;
 };
 
@@ -417,6 +443,9 @@ class ReplayPolicy {
   void absorb(Cell& c, Timestamp, const Tuple<In>& t, std::uint64_t seq) {
     c.entries.push_back({seq, t});
   }
+
+  /// Tuples a cell contributes to the engine's occupancy diagnostics.
+  static std::size_t cell_count(const Cell& c) { return c.entries.size(); }
 
   template <typename PaneMap, typename Key>
   const Result& evaluate(const PaneMap& panes, const WindowSpec& spec,

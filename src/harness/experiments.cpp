@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/hashing.hpp"
+#include "core/operators/sink.hpp"
+#include "core/operators/source.hpp"
 #include "workloads/scans.hpp"
 #include "workloads/wiki.hpp"
 
@@ -13,6 +16,176 @@ namespace {
 using wiki::WikiEdit;
 using scans::CartesianScan;
 using scans::Scan2D;
+
+// ---------------------------------------------------------------------
+// Deterministic backend probes (single-threaded Flow, fixed scripts):
+// same pipeline shapes as run_fm_t / run_join_t, but replayed through the
+// deterministic runtime so that two backends — or two repetitions — must
+// produce byte-identical ProbeResults.
+// ---------------------------------------------------------------------
+
+constexpr int kProbeTuples = 256;        // FM sample size
+constexpr int kProbeJoinPerSide = 160;   // J sample size per side
+constexpr Timestamp kProbePeriod = 25;   // FM watermark spacing D
+
+template <typename Out>
+ProbeResult summarize(const CollectorSink<Out>& sink) {
+  ProbeResult p;
+  p.tuples = static_cast<std::uint64_t>(sink.tuples().size());
+  for (const auto& t : sink.tuples()) {
+    p.checksum += static_cast<std::uint64_t>(hash_values(t.ts, t.value));
+  }
+  return p;
+}
+
+template <typename In, typename Out,
+          template <typename, typename> class MachineT>
+ProbeResult probe_fm_t(Impl impl, std::function<In(std::uint64_t)> gen,
+                       FlatMapFn<In, Out> f_fm) {
+  std::vector<Tuple<In>> tuples;
+  tuples.reserve(kProbeTuples);
+  for (int i = 0; i < kProbeTuples; ++i) {
+    tuples.push_back(
+        {static_cast<Timestamp>(i), 0, gen(static_cast<std::uint64_t>(i))});
+  }
+  Flow flow;
+  auto& src = flow.add<TimedSource<In>>(std::move(tuples), kProbePeriod,
+                                        kProbeTuples + 3 * kProbePeriod);
+  auto& sink = flow.add<CollectorSink<Out>>();
+  switch (impl) {
+    case Impl::kDedicated: {
+      auto& op = flow.add<FlatMapOp<In, Out>>(std::move(f_fm));
+      flow.connect(src.out(), op.in());
+      flow.connect(op.out(), sink.in());
+      break;
+    }
+    case Impl::kAggBased: {
+      AggBasedFlatMap<In, Out, MachineT> op(flow, std::move(f_fm),
+                                            /*lateness=*/kProbePeriod);
+      flow.connect(src, src.out(), op.in_node(), op.in());
+      flow.connect(op.out_node(), op.out(), sink, sink.in());
+      break;
+    }
+    case Impl::kAPlus: {
+      auto& op = make_aplus_flatmap<In, Out, MachineT>(flow, std::move(f_fm));
+      flow.connect(src.out(), op.in());
+      flow.connect(op.out(), sink.in());
+      break;
+    }
+  }
+  flow.run();
+  return summarize(sink);
+}
+
+template <typename In, typename Out>
+ProbeResult probe_fm(Impl impl, WindowBackend b,
+                     std::function<In(std::uint64_t)> gen,
+                     FlatMapFn<In, Out> f_fm) {
+  switch (b) {
+    case WindowBackend::kBuffering:
+      return probe_fm_t<In, Out, WindowMachine>(impl, std::move(gen),
+                                                std::move(f_fm));
+    case WindowBackend::kSlicedReplay:
+      return probe_fm_t<In, Out, swa::SlicedWindowMachine>(
+          impl, std::move(gen), std::move(f_fm));
+    case WindowBackend::kMonoid:
+      break;
+  }
+  throw std::invalid_argument(
+      "FM probes cannot run under the monoid backend");
+}
+
+template <typename L, typename R, typename Key,
+          template <typename, typename> class MachineT,
+          template <typename, typename, typename> class DJoinT>
+ProbeResult probe_join_t(Impl impl, std::function<L(std::uint64_t)> gen_l,
+                         std::function<R(std::uint64_t)> gen_r,
+                         WindowSpec spec, std::function<Key(const L&)> f_k1,
+                         std::function<Key(const R&)> f_k2,
+                         std::function<bool(const L&, const R&)> f_p) {
+  // Spread the sample over several window instances so panes open, slide
+  // and purge inside the probe.
+  const Timestamp span = 4 * spec.size;
+  std::vector<Tuple<L>> lefts;
+  std::vector<Tuple<R>> rights;
+  lefts.reserve(kProbeJoinPerSide);
+  rights.reserve(kProbeJoinPerSide);
+  for (int i = 0; i < kProbeJoinPerSide; ++i) {
+    const Timestamp ts = span * i / kProbeJoinPerSide;
+    lefts.push_back({ts, 0, gen_l(static_cast<std::uint64_t>(i))});
+    rights.push_back({ts, 0, gen_r(static_cast<std::uint64_t>(i))});
+  }
+  const Timestamp period = std::max<Timestamp>(1, spec.advance / 2);
+  const Timestamp flush = span + spec.size + 2 * period;
+  Flow flow;
+  auto& s1 = flow.add<TimedSource<L>>(std::move(lefts), period, flush);
+  auto& s2 = flow.add<TimedSource<R>>(std::move(rights), period, flush);
+  auto& sink = flow.add<CollectorSink<std::pair<L, R>>>();
+  switch (impl) {
+    case Impl::kDedicated: {
+      auto& op = flow.add<DJoinT<L, R, Key>>(spec, std::move(f_k1),
+                                             std::move(f_k2), std::move(f_p));
+      flow.connect(s1.out(), op.in_left());
+      flow.connect(s2.out(), op.in_right());
+      flow.connect(op.out(), sink.in());
+      break;
+    }
+    case Impl::kAggBased: {
+      AggBasedJoin<L, R, Key, MachineT> op(flow, spec, std::move(f_k1),
+                                           std::move(f_k2), std::move(f_p),
+                                           /*lateness=*/period);
+      flow.connect(s1, s1.out(), op.left_in_node(), op.left_in());
+      flow.connect(s2, s2.out(), op.right_in_node(), op.right_in());
+      flow.connect(op.out_node(), op.out(), sink, sink.in());
+      break;
+    }
+    case Impl::kAPlus: {
+      AplusJoin<L, R, Key, MachineT> op(flow, spec, std::move(f_k1),
+                                        std::move(f_k2), std::move(f_p));
+      flow.connect(s1, s1.out(), op.left_in_node(), op.left_in());
+      flow.connect(s2, s2.out(), op.right_in_node(), op.right_in());
+      flow.connect(op.out_node(), op.out(), sink, sink.in());
+      break;
+    }
+  }
+  flow.run();
+  return summarize(sink);
+}
+
+template <typename L, typename R, typename Key>
+ProbeResult probe_join(Impl impl, WindowBackend b,
+                       std::function<L(std::uint64_t)> gen_l,
+                       std::function<R(std::uint64_t)> gen_r,
+                       WindowSpec spec, std::function<Key(const L&)> f_k1,
+                       std::function<Key(const R&)> f_k2,
+                       std::function<bool(const L&, const R&)> f_p) {
+  switch (b) {
+    case WindowBackend::kBuffering:
+      return probe_join_t<L, R, Key, WindowMachine, BufferingJoinOp>(
+          impl, std::move(gen_l), std::move(gen_r), spec, std::move(f_k1),
+          std::move(f_k2), std::move(f_p));
+    case WindowBackend::kSlicedReplay:
+      return probe_join_t<L, R, Key, swa::SlicedWindowMachine, JoinOp>(
+          impl, std::move(gen_l), std::move(gen_r), spec, std::move(f_k1),
+          std::move(f_k2), std::move(f_p));
+    case WindowBackend::kMonoid:
+      break;
+  }
+  throw std::invalid_argument(
+      "J probes cannot run under the monoid backend");
+}
+
+const char* fm_monoid_reason() {
+  return "f_FM is an arbitrary user function, not a monoid";
+}
+const char* join_monoid_reason() {
+  return "the cartesian match f_P needs the window's tuples, not a "
+         "monoid partial";
+}
+
+std::vector<WindowBackend> ab_backends() {
+  return {WindowBackend::kBuffering, WindowBackend::kSlicedReplay};
+}
 
 // ---------------------------------------------------------------------
 // Server family (synthetic Wikipedia edits)
@@ -188,9 +361,15 @@ Experiment make_wiki_fm(std::string id, std::string sel, std::string cost,
   e.nominal_selectivity = nominal;
   e.notes = std::move(notes);
   e.rate_ladder = std::move(ladder);
+  e.backends = ab_backends();
+  e.monoid_skip_reason = fm_monoid_reason();
   e.run = [id](Impl impl, const RunConfig& cfg) {
     return run_fm<WikiEdit, std::string>(impl, cfg, wiki_gen(cfg.seed),
                                          wiki_fm(id));
+  };
+  e.probe = [id](Impl impl, WindowBackend b) {
+    return probe_fm<WikiEdit, std::string>(impl, b, wiki_gen(7),
+                                           wiki_fm(id));
   };
   e.measure_selectivity = [id](int samples) {
     auto gen = wiki_gen(42);
@@ -218,11 +397,18 @@ Experiment make_wiki_join(std::string id, std::string sel, std::string cost,
   e.notes = std::move(notes);
   e.rate_ladder = std::move(ladder);
   const WindowSpec spec{.advance = 1000, .size = ws_ms};  // WA = 1 s
+  e.backends = ab_backends();
+  e.monoid_skip_reason = join_monoid_reason();
   e.run = [min_len, spec](Impl impl, const RunConfig& cfg) {
-    RunConfig jc = join_config(cfg);
+    RunConfig jc = cfg.keep_timing ? cfg : join_config(cfg);
     return run_join<WikiEdit, WikiEdit, int>(
         impl, jc, wiki_gen(jc.seed), wiki_gen(jc.seed + 1), spec,
         wiki_join_key(), wiki_join_key(), wiki_join_pred(min_len));
+  };
+  e.probe = [min_len, spec](Impl impl, WindowBackend b) {
+    return probe_join<WikiEdit, WikiEdit, int>(
+        impl, b, wiki_gen(7), wiki_gen(8), spec, wiki_join_key(),
+        wiki_join_key(), wiki_join_pred(min_len));
   };
   e.measure_selectivity = [min_len](int samples) {
     auto gen_a = wiki_gen(42);
@@ -256,9 +442,15 @@ Experiment make_scan_fm(std::string id, std::string sel, std::string cost,
   e.nominal_selectivity = nominal;
   e.notes = std::move(notes);
   e.rate_ladder = std::move(ladder);
+  e.backends = ab_backends();
+  e.monoid_skip_reason = fm_monoid_reason();
   e.run = [id](Impl impl, const RunConfig& cfg) {
     return run_fm<Scan2D, CartesianScan>(impl, cfg, scan_gen(cfg.seed),
                                          scan_fm(id));
+  };
+  e.probe = [id](Impl impl, WindowBackend b) {
+    return probe_fm<Scan2D, CartesianScan>(impl, b, scan_gen(7),
+                                           scan_fm(id));
   };
   e.measure_selectivity = [id](int samples) {
     auto gen = scan_gen(42);
@@ -286,11 +478,18 @@ Experiment make_scan_join(std::string id, std::string sel, std::string cost,
   e.notes = std::move(notes);
   e.rate_ladder = std::move(ladder);
   const WindowSpec spec{.advance = 500, .size = ws_ms};  // WA = 0.5 s
+  e.backends = ab_backends();
+  e.monoid_skip_reason = join_monoid_reason();
   e.run = [max_diff, spec](Impl impl, const RunConfig& cfg) {
-    RunConfig jc = join_config(cfg);
+    RunConfig jc = cfg.keep_timing ? cfg : join_config(cfg);
     return run_join<Scan2D, Scan2D, int>(
         impl, jc, scan_gen(jc.seed), scan_gen(jc.seed + 1), spec,
         scan_join_key(), scan_join_key(), scan_join_pred(max_diff));
+  };
+  e.probe = [max_diff, spec](Impl impl, WindowBackend b) {
+    return probe_join<Scan2D, Scan2D, int>(
+        impl, b, scan_gen(7), scan_gen(8), spec, scan_join_key(),
+        scan_join_key(), scan_join_pred(max_diff));
   };
   e.measure_selectivity = [max_diff](int samples) {
     auto gen_a = scan_gen(42);

@@ -13,6 +13,16 @@
 
 namespace aggspes::harness {
 
+/// Outcome of a deterministic probe run: output tuple count plus an
+/// order-insensitive checksum over (ts, value) pairs. Two backends
+/// implementing the same semantics must produce identical ProbeResults.
+struct ProbeResult {
+  std::uint64_t tuples{0};
+  std::uint64_t checksum{0};
+
+  friend bool operator==(const ProbeResult&, const ProbeResult&) = default;
+};
+
 struct Experiment {
   std::string id;                 ///< Table 1 ID (e.g. "AHF", "llj")
   bool join{false};               ///< FM or J
@@ -23,8 +33,20 @@ struct Experiment {
   std::string notes;              ///< Table 1's description
   std::vector<double> rate_ladder;  ///< injection rates probed (t/s)
 
-  /// Builds the pipeline for `impl` and runs it at cfg.rate.
+  /// Window backends this experiment can legally run under (cfg.backend).
+  /// kMonoid never qualifies for Table 1 — f_FM is arbitrary and the join
+  /// match needs the window's tuples — so `monoid_skip_reason` says why.
+  std::vector<WindowBackend> backends;
+  std::string monoid_skip_reason;
+
+  /// Builds the pipeline for `impl` and runs it at cfg.rate (honouring
+  /// cfg.backend; throws std::invalid_argument for illegal backends).
   std::function<RunResult(Impl, const RunConfig&)> run;
+
+  /// Deterministic single-threaded replay of a fixed input sample through
+  /// the (impl, backend) pipeline. Identical results across backends is
+  /// the registry round-trip contract the differential tests lock down.
+  std::function<ProbeResult(Impl, WindowBackend)> probe;
 
   /// Offline selectivity probe: avg outputs per input tuple (FM) or avg
   /// matches per comparison (J) over a deterministic sample. Used by

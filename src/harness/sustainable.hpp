@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,10 +20,12 @@
 #include "aggbased/flatmap.hpp"
 #include "aggbased/join.hpp"
 #include "core/operators/join.hpp"
+#include "core/operators/join_buffering.hpp"
 #include "core/operators/stateless.hpp"
 #include "core/runtime/measuring_sink.hpp"
 #include "core/runtime/rate_source.hpp"
 #include "core/runtime/threaded_runtime.hpp"
+#include "core/swa/backends.hpp"
 
 namespace aggspes::harness {
 
@@ -44,6 +47,31 @@ inline const std::vector<Impl>& all_impls() {
   return v;
 }
 
+/// The window-state backend axis (DESIGN.md § 9), orthogonal to Impl:
+/// kBuffering copies each tuple into every overlapping instance
+/// (WindowMachine / BufferingJoinOp); kSlicedReplay stores each tuple once
+/// in its gcd(WA, WS) pane (SlicedWindowMachine / pane-backed JoinOp);
+/// kMonoid keeps per-pane partial aggregates and only applies where f_O
+/// admits a monoid — none of the Table-1 experiments do, so runners throw
+/// std::invalid_argument for it (the registry records the reason).
+enum class WindowBackend { kBuffering, kSlicedReplay, kMonoid };
+
+inline const char* backend_name(WindowBackend b) {
+  switch (b) {
+    case WindowBackend::kBuffering: return "buffering";
+    case WindowBackend::kSlicedReplay: return "sliced-replay";
+    case WindowBackend::kMonoid: return "monoid";
+  }
+  return "?";
+}
+
+inline const std::vector<WindowBackend>& all_backends() {
+  static const std::vector<WindowBackend> v{WindowBackend::kBuffering,
+                                            WindowBackend::kSlicedReplay,
+                                            WindowBackend::kMonoid};
+  return v;
+}
+
 struct RunConfig {
   double rate{10000};        ///< total injection rate, tuples/second
   double duration_s{0.8};    ///< generation duration
@@ -52,6 +80,11 @@ struct RunConfig {
   Timestamp ticks_per_s{1000};
   Timestamp wm_period{100};  ///< D, in ticks (event-time ms)
   std::uint64_t seed{42};
+  WindowBackend backend{WindowBackend::kBuffering};
+  /// Keep rate/duration/tick settings as given instead of letting join
+  /// experiments rescale them (A/B drivers and tests want short,
+  /// like-for-like runs).
+  bool keep_timing{false};
 };
 
 struct RunResult {
@@ -60,6 +93,13 @@ struct RunResult {
   double outputs_per_s{0};   ///< sink arrivals within the measure window
   double comparisons_per_s{0};  ///< joins: predicate invocations / wall s
   LatencySummary latency;       ///< over the measure window
+  std::string backend;          ///< backend_name(cfg.backend)
+  /// Pane/window-store occupancy of the windowed operator (the dedicated
+  /// join or the composite's match A): peak tuples held and peak open
+  /// panes (instances, for the buffering backend). Zero for stateless
+  /// pipelines (dedicated FM).
+  std::uint64_t peak_stored{0};
+  std::uint64_t peak_panes{0};
 };
 
 /// A pipeline runner at a given injection rate (implementation and
@@ -129,16 +169,21 @@ RunResult finalize(const RunConfig& cfg, double offered,
 
 }  // namespace detail
 
-/// Builds and runs one FM experiment (D / A / A+) at cfg.rate.
-template <typename In, typename Out>
-RunResult run_fm(Impl impl, const RunConfig& cfg,
-                 std::function<In(std::uint64_t)> gen,
-                 FlatMapFn<In, Out> f_fm) {
+/// Builds and runs one FM experiment (D / A / A+) at cfg.rate with the
+/// window backend MachineT.
+template <typename In, typename Out,
+          template <typename, typename> class MachineT>
+RunResult run_fm_t(Impl impl, const RunConfig& cfg,
+                   std::function<In(std::uint64_t)> gen,
+                   FlatMapFn<In, Out> f_fm) {
   ThreadedFlow flow;
   const Timestamp flush = 3 * cfg.wm_period + 10;
   auto& src = flow.add<RateSource<In>>(
       detail::source_config<In>(cfg, cfg.rate, flush), std::move(gen));
   auto& sink = flow.add<MeasuringSink<Out>>();
+  // Reads occupancy peaks off the flow-owned windowed operator after the
+  // run (empty for stateless pipelines).
+  std::function<void(RunResult&)> collect;
 
   switch (impl) {
     case Impl::kDedicated: {
@@ -150,16 +195,28 @@ RunResult run_fm(Impl impl, const RunConfig& cfg,
     case Impl::kAggBased: {
       // The composite is only a wiring helper holding references to
       // flow-owned nodes; it need not outlive this scope.
-      AggBasedFlatMap<In, Out> op(flow, std::move(f_fm),
-                                  /*lateness=*/cfg.wm_period);
+      AggBasedFlatMap<In, Out, MachineT> op(flow, std::move(f_fm),
+                                            /*lateness=*/cfg.wm_period);
       flow.connect(src, src.out(), op.in_node(), op.in());
       flow.connect(op.out_node(), op.out(), sink, sink.in());
+      auto* m = &op.embed().machine();
+      m->reset_diagnostics();
+      collect = [m](RunResult& r) {
+        r.peak_stored = m->peak_occupancy();
+        r.peak_panes = m->peak_panes();
+      };
       break;
     }
     case Impl::kAPlus: {
-      auto& op = make_aplus_flatmap<In, Out>(flow, std::move(f_fm));
+      auto& op = make_aplus_flatmap<In, Out, MachineT>(flow, std::move(f_fm));
       flow.connect(src, src.out(), op, op.in());
       flow.connect(op, op.out(), sink, sink.in());
+      auto* m = &op.machine();
+      m->reset_diagnostics();
+      collect = [m](RunResult& r) {
+        r.peak_stored = m->peak_occupancy();
+        r.peak_panes = m->peak_panes();
+      };
       break;
     }
   }
@@ -167,20 +224,48 @@ RunResult run_fm(Impl impl, const RunConfig& cfg,
   const std::uint64_t t0 = now_ns();
   flow.run();
   const std::uint64_t t1 = now_ns();
-  return detail::finalize(cfg, cfg.rate, t0, t1, src.emitted(),
-                          src.emission_seconds(), sink, 0);
+  RunResult r = detail::finalize(cfg, cfg.rate, t0, t1, src.emitted(),
+                                 src.emission_seconds(), sink, 0);
+  r.backend = backend_name(cfg.backend);
+  if (collect) collect(r);
+  return r;
+}
+
+/// Builds and runs one FM experiment, dispatching on cfg.backend. kMonoid
+/// throws: FM's f_FM is an arbitrary user function, not a monoid.
+template <typename In, typename Out>
+RunResult run_fm(Impl impl, const RunConfig& cfg,
+                 std::function<In(std::uint64_t)> gen,
+                 FlatMapFn<In, Out> f_fm) {
+  switch (cfg.backend) {
+    case WindowBackend::kBuffering:
+      return run_fm_t<In, Out, WindowMachine>(impl, cfg, std::move(gen),
+                                              std::move(f_fm));
+    case WindowBackend::kSlicedReplay:
+      return run_fm_t<In, Out, swa::SlicedWindowMachine>(
+          impl, cfg, std::move(gen), std::move(f_fm));
+    case WindowBackend::kMonoid:
+      break;
+  }
+  throw std::invalid_argument(
+      "FM cannot run under the monoid backend: f_FM is an arbitrary "
+      "user function, not a monoid");
 }
 
 /// Builds and runs one J experiment (D / A / A+) at cfg.rate, split evenly
-/// over the two input streams. `counted_pred` invocations are tallied for
-/// the comparisons/second metric (§ 6.1: J throughput is measured in c/s).
-template <typename L, typename R, typename Key>
-RunResult run_join(Impl impl, const RunConfig& cfg,
-                   std::function<L(std::uint64_t)> gen_l,
-                   std::function<R(std::uint64_t)> gen_r, WindowSpec spec,
-                   std::function<Key(const L&)> f_k1,
-                   std::function<Key(const R&)> f_k2,
-                   std::function<bool(const L&, const R&)> f_p) {
+/// over the two input streams, with the window backend MachineT for the
+/// composites and DJoinT as the dedicated join. `counted_pred` invocations
+/// are tallied for the comparisons/second metric (§ 6.1: J throughput is
+/// measured in c/s).
+template <typename L, typename R, typename Key,
+          template <typename, typename> class MachineT,
+          template <typename, typename, typename> class DJoinT>
+RunResult run_join_t(Impl impl, const RunConfig& cfg,
+                     std::function<L(std::uint64_t)> gen_l,
+                     std::function<R(std::uint64_t)> gen_r, WindowSpec spec,
+                     std::function<Key(const L&)> f_k1,
+                     std::function<Key(const R&)> f_k2,
+                     std::function<bool(const L&, const R&)> f_p) {
   ThreadedFlow flow;
   auto comparisons = std::make_shared<std::atomic<std::uint64_t>>(0);
   auto counted_pred = [f_p = std::move(f_p), comparisons](const L& a,
@@ -194,31 +279,50 @@ RunResult run_join(Impl impl, const RunConfig& cfg,
   auto& src_r = flow.add<RateSource<R>>(
       detail::source_config<R>(cfg, cfg.rate / 2, flush), std::move(gen_r));
   auto& sink = flow.add<MeasuringSink<std::pair<L, R>>>();
+  std::function<void(RunResult&)> collect;
 
   switch (impl) {
     case Impl::kDedicated: {
-      auto& op = flow.add<JoinOp<L, R, Key>>(spec, std::move(f_k1),
+      auto& op = flow.add<DJoinT<L, R, Key>>(spec, std::move(f_k1),
                                              std::move(f_k2), counted_pred);
       flow.connect(src_l, src_l.out(), op, op.in_left());
       flow.connect(src_r, src_r.out(), op, op.in_right());
       flow.connect(op, op.out(), sink, sink.in());
+      auto* pop = &op;
+      pop->reset_diagnostics();
+      collect = [pop](RunResult& r) {
+        r.peak_stored = pop->peak_occupancy();
+        r.peak_panes = pop->peak_panes();
+      };
       break;
     }
     case Impl::kAggBased: {
-      AggBasedJoin<L, R, Key> op(flow, spec, std::move(f_k1),
-                                 std::move(f_k2), counted_pred,
-                                 /*lateness=*/cfg.wm_period);
+      AggBasedJoin<L, R, Key, MachineT> op(flow, spec, std::move(f_k1),
+                                           std::move(f_k2), counted_pred,
+                                           /*lateness=*/cfg.wm_period);
       flow.connect(src_l, src_l.out(), op.left_in_node(), op.left_in());
       flow.connect(src_r, src_r.out(), op.right_in_node(), op.right_in());
       flow.connect(op.out_node(), op.out(), sink, sink.in());
+      auto* m = &op.match().machine();
+      m->reset_diagnostics();
+      collect = [m](RunResult& r) {
+        r.peak_stored = m->peak_occupancy();
+        r.peak_panes = m->peak_panes();
+      };
       break;
     }
     case Impl::kAPlus: {
-      AplusJoin<L, R, Key> op(flow, spec, std::move(f_k1), std::move(f_k2),
-                              counted_pred);
+      AplusJoin<L, R, Key, MachineT> op(flow, spec, std::move(f_k1),
+                                        std::move(f_k2), counted_pred);
       flow.connect(src_l, src_l.out(), op.left_in_node(), op.left_in());
       flow.connect(src_r, src_r.out(), op.right_in_node(), op.right_in());
       flow.connect(op.out_node(), op.out(), sink, sink.in());
+      auto* m = &op.match().machine();
+      m->reset_diagnostics();
+      collect = [m](RunResult& r) {
+        r.peak_stored = m->peak_occupancy();
+        r.peak_panes = m->peak_panes();
+      };
       break;
     }
   }
@@ -226,10 +330,40 @@ RunResult run_join(Impl impl, const RunConfig& cfg,
   const std::uint64_t t0 = now_ns();
   flow.run();
   const std::uint64_t t1 = now_ns();
-  return detail::finalize(
+  RunResult r = detail::finalize(
       cfg, cfg.rate, t0, t1, src_l.emitted() + src_r.emitted(),
       std::max(src_l.emission_seconds(), src_r.emission_seconds()), sink,
       comparisons->load());
+  r.backend = backend_name(cfg.backend);
+  if (collect) collect(r);
+  return r;
+}
+
+/// Builds and runs one J experiment, dispatching on cfg.backend. kMonoid
+/// throws: the cartesian match consumes the window's tuples themselves,
+/// which a monoid partial cannot provide.
+template <typename L, typename R, typename Key>
+RunResult run_join(Impl impl, const RunConfig& cfg,
+                   std::function<L(std::uint64_t)> gen_l,
+                   std::function<R(std::uint64_t)> gen_r, WindowSpec spec,
+                   std::function<Key(const L&)> f_k1,
+                   std::function<Key(const R&)> f_k2,
+                   std::function<bool(const L&, const R&)> f_p) {
+  switch (cfg.backend) {
+    case WindowBackend::kBuffering:
+      return run_join_t<L, R, Key, WindowMachine, BufferingJoinOp>(
+          impl, cfg, std::move(gen_l), std::move(gen_r), spec,
+          std::move(f_k1), std::move(f_k2), std::move(f_p));
+    case WindowBackend::kSlicedReplay:
+      return run_join_t<L, R, Key, swa::SlicedWindowMachine, JoinOp>(
+          impl, cfg, std::move(gen_l), std::move(gen_r), spec,
+          std::move(f_k1), std::move(f_k2), std::move(f_p));
+    case WindowBackend::kMonoid:
+      break;
+  }
+  throw std::invalid_argument(
+      "J cannot run under the monoid backend: the cartesian match f_P "
+      "needs the window's tuples, not a monoid partial");
 }
 
 }  // namespace aggspes::harness

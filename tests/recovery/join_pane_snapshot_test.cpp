@@ -1,0 +1,223 @@
+// Recovery integration for the pane-backed dedicated Join: snapshot →
+// restore-into-a-fresh-graph → continue must equal an uninterrupted run,
+// a *legacy* per-instance (version-1) snapshot taken by the buffering
+// join must migrate into the pane store through the versioned codec, and
+// snapshots tagged with an unknown version must be rejected loudly.
+#include "core/operators/join.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/operators/join_buffering.hpp"
+#include "core/operators/sink.hpp"
+
+namespace aggspes {
+namespace {
+
+using Pair = std::pair<int, int>;
+
+const WindowSpec kSpec{.advance = 4, .size = 10};  // gcd 2: 5 panes/instance
+
+std::function<int(const int&)> by_mod3() {
+  return [](const int& v) { return v % 3; };
+}
+
+std::function<bool(const int&, const int&)> parity_pred() {
+  // The script's sides alternate even/odd values, so a sum-based test is
+  // the selective-but-nonempty choice.
+  return [](const int& a, const int& b) { return (a + b) % 3 == 0; };
+}
+
+/// One element of an interleaved two-sided script (watermarks advance both
+/// ports in lockstep).
+struct Step {
+  enum Kind { kLeft, kRight, kWatermark } kind;
+  Tuple<int> t{};
+  Timestamp wm{0};
+};
+
+/// Deterministic two-sided script with bounded disorder: both sides see
+/// tuples roughly in time order, watermarks trail 3 ticks behind.
+std::vector<Step> int_script() {
+  std::vector<Step> s;
+  Timestamp ts = 0;
+  Timestamp last_wm = kMinTimestamp;
+  for (int i = 0; i < 90; ++i) {
+    ts += (i % 4 == 0) ? 0 : 1;
+    const Timestamp jitter = (i % 5 == 2) ? -2 : 0;  // mildly out of order
+    Step st;
+    st.kind = (i % 2 == 0) ? Step::kLeft : Step::kRight;
+    st.t = Tuple<int>{ts + jitter, 0, i % 10};
+    s.push_back(st);
+    const Timestamp wm = ts - 3;
+    if (wm > last_wm) {
+      s.push_back(Step{Step::kWatermark, {}, wm});
+      last_wm = wm;
+    }
+  }
+  s.push_back(Step{Step::kWatermark, {}, ts + kSpec.size + 1});
+  return s;
+}
+
+template <typename JoinT>
+struct Rig {
+  Flow flow;
+  JoinT* op;
+  CollectorSink<Pair>* sink;
+
+  Rig() {
+    op = &flow.add<JoinT>(kSpec, by_mod3(), by_mod3(), parity_pred());
+    sink = &flow.add<CollectorSink<Pair>>();
+    flow.connect(op->out(), sink->in());
+  }
+
+  void apply(const std::vector<Step>& steps) {
+    for (const Step& s : steps) {
+      switch (s.kind) {
+        case Step::kLeft:
+          op->in_left().receive(Element<int>{s.t});
+          break;
+        case Step::kRight:
+          op->in_right().receive(Element<int>{s.t});
+          break;
+        case Step::kWatermark:
+          op->in_left().receive(Element<int>{Watermark{s.wm}});
+          op->in_right().receive(Element<int>{Watermark{s.wm}});
+          break;
+      }
+      flow.drain();
+    }
+  }
+
+  void finish() {
+    op->in_left().receive(Element<int>{EndOfStream{}});
+    op->in_right().receive(Element<int>{EndOfStream{}});
+    flow.drain();
+  }
+};
+
+template <typename T>
+SnapshotWriter::Bytes snapshot_of(const T& node) {
+  SnapshotWriter w;
+  node.snapshot_to(w);
+  return w.take();
+}
+
+const std::vector<std::size_t> kCuts{1, 17, 40, 0 /* size-2, fixed below */};
+
+template <typename CutJoinT>
+void mid_stream_continuation() {
+  const auto script = int_script();
+
+  Rig<JoinOp<int, int, int>> ref;
+  ref.apply(script);
+  ref.finish();
+  ASSERT_FALSE(ref.sink->tuples().empty());
+  ASSERT_TRUE(ref.sink->ended());
+
+  auto cuts = kCuts;
+  cuts.back() = script.size() - 2;
+  for (std::size_t cut : cuts) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    const std::vector<Step> prefix(script.begin(),
+                                   script.begin() + static_cast<long>(cut));
+    const std::vector<Step> suffix(script.begin() + static_cast<long>(cut),
+                                   script.end());
+
+    Rig<CutJoinT> a;
+    a.apply(prefix);
+    const auto op_bytes = snapshot_of(*a.op);
+    const auto sink_bytes = snapshot_of(*a.sink);
+
+    // Restore always targets the pane-backed join: a CutJoinT of
+    // BufferingJoinOp makes this the v1 -> v2 migration path.
+    Rig<JoinOp<int, int, int>> b;
+    SnapshotReader op_r(op_bytes), sink_r(sink_bytes);
+    b.op->restore_from(op_r);
+    b.sink->restore_from(sink_r);
+    b.apply(suffix);
+    b.finish();
+
+    EXPECT_EQ(b.sink->multiset(), ref.sink->multiset());
+    EXPECT_EQ(b.op->comparisons(), ref.op->comparisons());
+    EXPECT_EQ(b.op->dropped_late(), ref.op->dropped_late());
+    EXPECT_EQ(b.sink->watermark_regressions(), 0);
+    EXPECT_TRUE(b.sink->ended());
+  }
+}
+
+TEST(JoinPaneSnapshot, MidStreamContinuation) {
+  mid_stream_continuation<JoinOp<int, int, int>>();
+}
+
+// A version-1 snapshot — taken by the per-instance BufferingJoinOp, whose
+// layout is the pre-pane codec — restores into the pane-backed join via
+// migrate_per_instance and the continued run matches an uninterrupted one.
+TEST(JoinPaneSnapshot, LegacyPerInstanceSnapshotMigrates) {
+  mid_stream_continuation<BufferingJoinOp<int, int, int>>();
+}
+
+TEST(JoinPaneSnapshot, MigrationStoresEachTupleOnce) {
+  const auto script = int_script();
+  Rig<BufferingJoinOp<int, int, int>> a;
+  a.apply({script.begin(), script.begin() + 40});
+  ASSERT_GT(a.op->occupancy(), 0u);
+
+  Rig<JoinOp<int, int, int>> b;
+  const auto bytes = snapshot_of(*a.op);
+  SnapshotReader r(bytes);
+  b.op->restore_from(r);
+  // The buffering op holds one copy per overlapping instance (up to
+  // WS/WA = 2.5x here); the migrated pane store holds each tuple once.
+  EXPECT_GT(b.op->store().occupancy(), 0u);
+  EXPECT_LT(b.op->store().occupancy(), a.op->occupancy());
+}
+
+TEST(JoinPaneSnapshot, UnknownCodecVersionIsRejected) {
+  // A JoinOp whose payload lacks a StateCodec writes base state plus a
+  // single version-0 byte, which pins the offset of the version tag.
+  struct Opaque {
+    int v{0};
+    std::function<void()> no_codec;  // makes the payload non-serializable
+  };
+  static_assert(!SnapshotSerializable<Opaque>);
+  JoinOp<Opaque, Opaque, int> probe(
+      kSpec, [](const Opaque&) { return 0; }, [](const Opaque&) { return 0; },
+      [](const Opaque&, const Opaque&) { return false; });
+  const std::size_t base_len = snapshot_of(probe).size() - 1;
+
+  Rig<JoinOp<int, int, int>> a;
+  auto bytes = snapshot_of(*a.op);
+  ASSERT_EQ(bytes[base_len], 2) << "codec version tag moved";
+  bytes[base_len] = 9;  // future / corrupt version
+
+  Rig<JoinOp<int, int, int>> b;
+  SnapshotReader r(bytes);
+  EXPECT_THROW(b.op->restore_from(r), SnapshotError);
+}
+
+// Replayed watermarks after restore must not double-drop: the purge is
+// idempotent and counters travel with the snapshot.
+TEST(JoinPaneSnapshot, ReplayedWatermarkIsIdempotent) {
+  Rig<JoinOp<int, int, int>> a;
+  a.apply({{Step::kLeft, Tuple<int>{2, 0, 4}, 0},
+           {Step::kRight, Tuple<int>{3, 0, 6}, 0},
+           {Step::kWatermark, {}, 20}});
+  const auto dropped = a.op->dropped_late();
+  const auto bytes = snapshot_of(*a.op);
+
+  Rig<JoinOp<int, int, int>> b;
+  SnapshotReader r(bytes);
+  b.op->restore_from(r);
+  b.apply({{Step::kWatermark, {}, 20}});  // replayed watermark
+  EXPECT_EQ(b.op->store().occupancy(), 0u);
+  EXPECT_EQ(b.op->dropped_late(), dropped);
+  EXPECT_TRUE(b.sink->tuples().size() <= a.sink->tuples().size());
+}
+
+}  // namespace
+}  // namespace aggspes

@@ -1,9 +1,14 @@
-// Tests for the Table 1 experiment registry.
+// Tests for the Table 1 experiment registry, including the backend
+// round-trip contract (ctest label: backend): every experiment × impl ×
+// legal window backend must produce identical deterministic probe
+// results, and the harness must be able to run any ID under any legal
+// backend from one invocation with the backend recorded in the report.
 #include "harness/experiments.hpp"
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 namespace aggspes::harness {
 namespace {
@@ -83,6 +88,58 @@ TEST(Registry, MeasuredJoinSelectivityTracksThreshold) {
   EXPECT_LE(sel("alj"), sel("hlj"));
 }
 
+TEST(Registry, EveryExperimentDeclaresItsBackends) {
+  for (const auto& e : all_experiments()) {
+    EXPECT_TRUE(static_cast<bool>(e.probe)) << e.id;
+    ASSERT_GE(e.backends.size(), 2u) << e.id << ": not A/B-capable";
+    EXPECT_EQ(e.backends.front(), WindowBackend::kBuffering) << e.id;
+    for (WindowBackend b : e.backends) {
+      EXPECT_NE(b, WindowBackend::kMonoid) << e.id;
+    }
+    // Monoid never qualifies for Table 1, and the skip is explained.
+    EXPECT_FALSE(e.monoid_skip_reason.empty()) << e.id;
+  }
+}
+
+TEST(Registry, BackendRoundTripIsIdentical) {
+  // The registry's central contract: for every Table 1 ID and every
+  // implementation, all legal backends replay the same deterministic
+  // sample to the same tuple count and checksum.
+  for (const auto& e : all_experiments()) {
+    for (Impl impl : {Impl::kDedicated, Impl::kAggBased, Impl::kAPlus}) {
+      const ProbeResult base = e.probe(impl, e.backends.front());
+      for (WindowBackend b : e.backends) {
+        SCOPED_TRACE(e.id + std::string(" impl=") +
+                     std::to_string(static_cast<int>(impl)) + " backend=" +
+                     backend_name(b));
+        const ProbeResult got = e.probe(impl, b);
+        EXPECT_EQ(got, base);
+      }
+    }
+  }
+}
+
+TEST(Registry, ProbesAreDeterministic) {
+  for (const char* id : {"AHF", "ahf", "ALJ", "alj"}) {
+    const Experiment& e = experiment(id);
+    const ProbeResult once = e.probe(Impl::kAggBased, e.backends.back());
+    const ProbeResult twice = e.probe(Impl::kAggBased, e.backends.back());
+    EXPECT_EQ(once, twice) << id;
+    EXPECT_GT(once.tuples, 0u) << id << ": vacuous probe";
+  }
+}
+
+TEST(Registry, MonoidBackendIsRejectedWithDiagnostic) {
+  EXPECT_THROW(experiment("ALF").probe(Impl::kAggBased, WindowBackend::kMonoid),
+               std::invalid_argument);
+  EXPECT_THROW(experiment("LLJ").probe(Impl::kDedicated, WindowBackend::kMonoid),
+               std::invalid_argument);
+  RunConfig cfg;
+  cfg.backend = WindowBackend::kMonoid;
+  EXPECT_THROW(experiment("ALF").run(Impl::kAggBased, cfg),
+               std::invalid_argument);
+}
+
 TEST(Registry, SmokeRunEachKindCompletes) {
   // One tiny end-to-end run per (kind, family) with the dedicated
   // implementation — validates the full harness plumbing.
@@ -94,7 +151,36 @@ TEST(Registry, SmokeRunEachKindCompletes) {
   for (const char* id : {"ALF", "alf", "LLJ", "llj"}) {
     RunResult r = experiment(id).run(Impl::kDedicated, cfg);
     EXPECT_GT(r.achieved_per_s, 0) << id;
+    EXPECT_EQ(r.backend, "buffering") << id;
   }
+}
+
+TEST(Registry, HarnessRunsAnyIdUnderEitherBackend) {
+  // One invocation, any backend: cfg.backend selects the window store and
+  // the report records which backend ran plus its occupancy high-water
+  // marks. keep_timing stops join_config from stretching the run.
+  RunConfig cfg;
+  cfg.rate = 500;
+  cfg.duration_s = 0.12;
+  cfg.warmup_s = 0.02;
+  cfg.cooldown_s = 0.02;
+  cfg.keep_timing = true;
+  for (const char* id : {"AHF", "LLJ", "ahf", "llj"}) {
+    for (WindowBackend b : experiment(id).backends) {
+      SCOPED_TRACE(std::string(id) + " backend=" + backend_name(b));
+      cfg.backend = b;
+      RunResult r = experiment(id).run(Impl::kAggBased, cfg);
+      EXPECT_GT(r.achieved_per_s, 0);
+      EXPECT_EQ(r.backend, backend_name(b));
+      EXPECT_GT(r.peak_stored, 0u) << "occupancy counters not collected";
+    }
+  }
+  // Dedicated joins report the store's counters too.
+  cfg.backend = WindowBackend::kBuffering;
+  RunResult d = experiment("LLJ").run(Impl::kDedicated, cfg);
+  EXPECT_EQ(d.backend, "buffering");
+  EXPECT_GT(d.peak_stored, 0u);
+  EXPECT_GT(d.peak_panes, 0u);
 }
 
 }  // namespace
