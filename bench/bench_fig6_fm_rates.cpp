@@ -33,11 +33,12 @@ int main() {
           fmt_ms(r.latency.p99_ms),
           fmt_ms(r.latency.max_ms),
           std::to_string(r.latency.count),
+          fmt_cutoff(r.cutoff_fired, r.cutoff_at_s),
       });
     }
   }
   print_table({"inject t/s", "impl", "throughput t/s", "p50", "p99", "max",
-               "outputs"},
+               "outputs", "cutoff"},
               rows);
   return 0;
 }

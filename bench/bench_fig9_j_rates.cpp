@@ -32,11 +32,12 @@ int main() {
           fmt_ms(r.latency.p50_ms),
           fmt_ms(r.latency.p99_ms),
           std::to_string(r.latency.count),
+          fmt_cutoff(r.cutoff_fired, r.cutoff_at_s),
       });
     }
   }
   print_table({"inject t/s", "impl", "throughput t/s", "cmp/s", "p50",
-               "p99", "outputs"},
+               "p99", "outputs", "cutoff"},
               rows);
   return 0;
 }

@@ -16,9 +16,19 @@ RUNS="${RUNS:-3}"
 
 cmake -B "$BUILD" -S "$ROOT" -DAGGSPES_SANITIZE="$SANITIZE" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD" -j"$(nproc)" --target chaos_test swa_chaos_test
+cmake --build "$BUILD" -j"$(nproc)" --target chaos_test swa_chaos_test \
+      overload_test overload_chaos_test
 
 for i in $(seq 1 "$RUNS"); do
   echo "=== chaos sweep $i/$RUNS (sanitize=$SANITIZE) ==="
   ctest --test-dir "$BUILD" -L chaos --output-on-failure -j"$(nproc)"
+done
+
+# Overload sweep: the detect → shed → complete scenarios plus the
+# monitor/shedder/backoff units, repeated like the chaos suite — the
+# slow-consumer and saturation faults are timing-sensitive by design, so
+# repetition is what shakes out raciness in the gauge sampling.
+for i in $(seq 1 "$RUNS"); do
+  echo "=== overload sweep $i/$RUNS (sanitize=$SANITIZE) ==="
+  ctest --test-dir "$BUILD" -L overload --output-on-failure -j"$(nproc)"
 done

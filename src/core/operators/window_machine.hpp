@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/recovery/snapshot.hpp"
+#include "core/runtime/overload.hpp"
 #include "core/swa/late_probe.hpp"
 #include "core/types.hpp"
 #include "core/window.hpp"
@@ -55,6 +56,14 @@ class WindowMachine {
   void add(const Tuple<In>& t, Timestamp w, const FireFn& fire,
            const AddedFn& added = {}) {
     Key key = key_fn_(t.value);
+    // Operator-level admission shedding: under overload the tuple is
+    // dropped before touching any instance, counted in shed(). Not part of
+    // the persisted snapshot — shedding is a runtime condition, not state.
+    if (shedder_ != nullptr &&
+        !shedder_->admit(static_cast<std::uint64_t>(std::hash<Key>{}(key)),
+                         t.ts, w)) {
+      return;
+    }
     spec_.for_each_instance(t.ts, [&](Timestamp l) {
       if (!spec_.admits(l, w)) {
         ++dropped_late_;
@@ -130,6 +139,14 @@ class WindowMachine {
   std::uint64_t late_updates() const { return late_updates_; }
   std::uint64_t fired_instances() const { return fired_instances_; }
   std::size_t open_instances() const { return instances_.size(); }
+
+  /// Installs an operator-level load shedder consulted at add() admission.
+  /// The shedder owns the shed/admitted counters; it must outlive the
+  /// machine. nullptr (the default) disables shedding entirely.
+  void set_shedder(Shedder* shedder) { shedder_ = shedder; }
+  std::uint64_t shed() const {
+    return shedder_ != nullptr ? shedder_->shed() : 0;
+  }
 
   /// Occupancy diagnostics: tuple copies currently buffered (one per
   /// overlapping instance — the fan-out the sliced backends avoid) and
@@ -216,6 +233,7 @@ class WindowMachine {
   std::uint64_t peak_occupancy_{0};
   std::size_t peak_instances_{0};
   LateProbe late_probe_;
+  Shedder* shedder_{nullptr};
 };
 
 /// Largest wall-clock stamp among a window's items (latency metadata: an

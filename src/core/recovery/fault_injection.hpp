@@ -53,6 +53,18 @@ enum class FaultKind : std::uint8_t {
   kDelay,
   kDropCrash,
   kDupCrash,
+  // Overload faults. Appended after kDupCrash so existing seed-derived
+  // schedules (materialize() draws `rng() % 5` over the first five kinds)
+  // are unchanged; these fire only via explicit add_event.
+  //  * SlowConsumer — the consumer sleeps param_ms before *each* of
+  //                   param_count consecutive deliveries starting at
+  //                   at_delivery, backing the producer's queue up; this
+  //                   is the injected overload the shed policies react to.
+  //  * Saturate     — the consumer parks until its input queue is full
+  //                   (or param_ms elapses), forcing an immediate
+  //                   high-water spike without per-delivery pacing.
+  kSlowConsumer,
+  kSaturate,
 };
 
 inline const char* fault_kind_name(FaultKind k) {
@@ -62,6 +74,8 @@ inline const char* fault_kind_name(FaultKind k) {
     case FaultKind::kDelay: return "delay";
     case FaultKind::kDropCrash: return "drop+crash";
     case FaultKind::kDupCrash: return "dup+crash";
+    case FaultKind::kSlowConsumer: return "slow-consumer";
+    case FaultKind::kSaturate: return "saturate";
   }
   return "?";
 }
@@ -71,7 +85,10 @@ struct FaultEvent {
   int attempt{0};            ///< restart attempt in which the event fires
   std::size_t edge{0};       ///< channel index (ThreadedFlow connect order)
   std::uint64_t at_delivery{0};  ///< fires at this delivery count (1-based)
-  std::uint64_t param_ms{0};     ///< stall/delay duration
+  std::uint64_t param_ms{0};     ///< stall/delay/slow-consumer duration
+  /// kSlowConsumer only: number of consecutive deliveries (from
+  /// at_delivery) the slowdown spans. Point faults keep the default 1.
+  std::uint64_t param_count{1};
 };
 
 /// What a channel should do at one delivery.
@@ -152,8 +169,14 @@ class FaultInjector {
   const FaultEvent* on_delivery(std::size_t edge,
                                 std::uint64_t delivery) const {
     for (const FaultEvent& e : events_) {
-      if (e.attempt == attempt_ && e.edge == edge &&
-          e.at_delivery == delivery) {
+      if (e.attempt != attempt_ || e.edge != edge) continue;
+      if (e.kind == FaultKind::kSlowConsumer) {
+        // The only ranged kind: slows a whole run of deliveries.
+        if (delivery >= e.at_delivery &&
+            delivery < e.at_delivery + e.param_count) {
+          return &e;
+        }
+      } else if (e.at_delivery == delivery) {
         return &e;
       }
     }

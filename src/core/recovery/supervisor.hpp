@@ -6,34 +6,77 @@
 // be ReplaySources (or otherwise rewindable via restore_from) for the
 // resumed run to regenerate the lost suffix.
 //
+// Restart discipline: attempts are spaced by exponential backoff with
+// deterministic seeded jitter — delay(n) = min(backoff_max,
+// backoff_initial · backoff_factor^n) · (1 + jitter · u(n)), where u(n) ∈
+// [-1, 1] is a splitmix64 draw from (jitter_seed, n). A crash-looping
+// build therefore cannot hot-spin the rebuild path, and a chaos test
+// replaying the same seed sees the identical delay sequence. The budget is
+// max_attempts; on exhaustion the last FlowError is rethrown and — since
+// an exception cannot carry the report (it owns the flow) — the attempt
+// timeline is published through the optional `progress` out-param.
+//
 // The report owns the final (successful) flow so that node pointers the
 // builder handed out — typically the sink to assert on — stay valid after
 // run_with_recovery returns.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/recovery/checkpoint_store.hpp"
 #include "core/recovery/fault_injection.hpp"
+#include "core/runtime/overload.hpp"
 #include "core/runtime/threaded_runtime.hpp"
 
 namespace aggspes {
 
 struct RecoveryOptions {
-  /// Give up (rethrow the last FlowError) after this many attempts.
+  /// Restart budget: give up (rethrow the last FlowError) after this many
+  /// attempts.
   int max_attempts{5};
+  /// Backoff before attempt n+1 after attempt n fails. Zero (the default)
+  /// disables waiting entirely — existing tight-loop callers see the exact
+  /// pre-backoff behavior.
+  std::chrono::milliseconds backoff_initial{0};
+  double backoff_factor{2.0};
+  std::chrono::milliseconds backoff_max{std::chrono::seconds(5)};
+  /// Jitter fraction in [0, 1]: each delay is scaled by a deterministic
+  /// factor in [1 - jitter, 1 + jitter] drawn from (jitter_seed, attempt).
+  double jitter{0.0};
+  std::uint64_t jitter_seed{42};
   ThreadedFlow::RunOptions run;
+};
+
+/// One line of the restart timeline.
+struct RecoveryAttempt {
+  int attempt{0};
+  bool succeeded{false};
+  std::string failure;  ///< FlowError message (empty when succeeded)
+  /// Checkpoint this attempt restored from (nullopt: started fresh).
+  std::optional<std::uint64_t> resumed_from;
+  /// Backoff slept *before* this attempt (0 for attempt 0).
+  std::chrono::milliseconds backoff{0};
+  /// Wall-clock run duration of the attempt.
+  std::chrono::milliseconds elapsed{0};
 };
 
 struct RecoveryReport {
   int attempts{1};
   /// FlowError messages of the failed attempts, in order.
   std::vector<std::string> failures;
+  /// Full restart timeline, one entry per attempt (including the failed
+  /// ones and, when the budget ran out, the final failure).
+  std::vector<RecoveryAttempt> timeline;
+  /// True when the restart budget was exhausted without a successful run.
+  bool budget_exhausted{false};
   /// Checkpoint the final attempt resumed from (nullopt: started fresh —
   /// either no failure at all, or none had completed).
   std::optional<std::uint64_t> resumed_from;
@@ -44,32 +87,92 @@ struct RecoveryReport {
   bool recovered() const { return attempts > 1; }
 };
 
+/// Deterministic backoff before attempt `attempt` (> 0); attempt 0 never
+/// waits. Exposed for tests asserting the exponential spacing.
+inline std::chrono::milliseconds recovery_backoff(const RecoveryOptions& opts,
+                                                  int attempt) {
+  if (attempt <= 0 || opts.backoff_initial.count() <= 0) {
+    return std::chrono::milliseconds{0};
+  }
+  double ms = static_cast<double>(opts.backoff_initial.count());
+  for (int i = 1; i < attempt; ++i) ms *= opts.backoff_factor;
+  ms = std::min(ms, static_cast<double>(opts.backoff_max.count()));
+  if (opts.jitter > 0) {
+    // u ∈ [-1, 1] from (seed, attempt): same seed ⇒ same delay sequence.
+    const std::uint64_t bits =
+        splitmix64(opts.jitter_seed ^
+                   splitmix64(static_cast<std::uint64_t>(attempt)));
+    const double u =
+        static_cast<double>(bits >> 11) * 0x1.0p-52 - 1.0;  // [-1, 1)
+    ms *= 1.0 + opts.jitter * u;
+  }
+  if (ms < 0) ms = 0;
+  return std::chrono::milliseconds{static_cast<std::int64_t>(ms)};
+}
+
 /// `build(flow)` constructs the graph; it runs once per attempt, so any
 /// node pointers it captures must be (re)assigned inside it.
+///
+/// When the restart budget is exhausted the last FlowError is rethrown;
+/// pass `progress` to still receive the attempt timeline (with
+/// budget_exhausted set) — the report returned on success carries it too.
 template <typename BuildFn>
 RecoveryReport run_with_recovery(BuildFn&& build, CheckpointStore& store,
                                  FaultInjector* faults = nullptr,
-                                 RecoveryOptions opts = {}) {
+                                 RecoveryOptions opts = {},
+                                 RecoveryReport* progress = nullptr) {
   RecoveryReport report;
   for (int attempt = 0;; ++attempt) {
+    RecoveryAttempt line;
+    line.attempt = attempt;
+    line.backoff = recovery_backoff(opts, attempt);
+    if (line.backoff.count() > 0) std::this_thread::sleep_for(line.backoff);
+
     auto flow = std::make_unique<ThreadedFlow>();
     build(*flow);
     flow->enable_checkpoints(store);
     std::optional<std::uint64_t> resumed;
     if (attempt > 0) resumed = flow->restore_latest(store);
+    line.resumed_from = resumed;
     if (faults != nullptr) {
       faults->begin_attempt(attempt);
       flow->install_faults(*faults);
     }
+    const auto started = std::chrono::steady_clock::now();
     try {
       flow->run(opts.run);
+      line.succeeded = true;
+      line.elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started);
+      report.timeline.push_back(std::move(line));
       report.attempts = attempt + 1;
       report.resumed_from = resumed;
       report.flow = std::move(flow);
+      if (progress != nullptr) {
+        progress->attempts = report.attempts;
+        progress->failures = report.failures;
+        progress->timeline = report.timeline;
+        progress->budget_exhausted = false;
+        progress->resumed_from = report.resumed_from;
+      }
       return report;
     } catch (const FlowError& e) {
+      line.elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started);
+      line.failure = e.what();
       report.failures.emplace_back(e.what());
-      if (attempt + 1 >= opts.max_attempts) throw;
+      report.timeline.push_back(std::move(line));
+      if (attempt + 1 >= opts.max_attempts) {
+        report.attempts = attempt + 1;
+        report.budget_exhausted = true;
+        if (progress != nullptr) {
+          progress->attempts = report.attempts;
+          progress->failures = std::move(report.failures);
+          progress->timeline = std::move(report.timeline);
+          progress->budget_exhausted = true;
+        }
+        throw;
+      }
     }
   }
 }

@@ -34,6 +34,12 @@ class MeasuringSink final : public NodeBase {
     return count_.load(std::memory_order_relaxed);
   }
 
+  /// Latest watermark seen: the sink end of the frontier-vs-laggard lag
+  /// the OverloadMonitor classifies on.
+  Timestamp node_watermark() const override {
+    return last_wm_.load(std::memory_order_relaxed);
+  }
+
   /// Latency summary over samples that arrived in [from_ns, to_ns].
   LatencySummary summarize(std::uint64_t from_ns, std::uint64_t to_ns) const {
     LatencyRecorder rec(samples_.size());
@@ -61,6 +67,8 @@ class MeasuringSink final : public NodeBase {
       samples_.push_back({n, t->stamp != 0 && n > t->stamp ? n - t->stamp
                                                            : 0});
       count_.fetch_add(1, std::memory_order_relaxed);
+    } else if (const auto* w = std::get_if<Watermark>(&e)) {
+      last_wm_.store(w->ts, std::memory_order_relaxed);
     } else if (const auto* m = std::get_if<CheckpointMarker>(&e)) {
       this->complete_barrier(m->id);  // measurements are not checkpointed
     }
@@ -69,6 +77,7 @@ class MeasuringSink final : public NodeBase {
   Port<T> port_;
   std::vector<Sample> samples_;
   std::atomic<std::uint64_t> count_{0};
+  std::atomic<Timestamp> last_wm_{kMinTimestamp};
 };
 
 }  // namespace aggspes

@@ -52,6 +52,7 @@
 #include "core/graph.hpp"
 #include "core/recovery/checkpoint_store.hpp"
 #include "core/recovery/fault_injection.hpp"
+#include "core/runtime/overload.hpp"
 #include "core/runtime/spsc_queue.hpp"
 
 namespace aggspes {
@@ -197,6 +198,24 @@ class ThreadedFlow {
     for (auto& ch : channels_) ch->set_faults(&injector);
   }
 
+  /// Attaches an overload monitor: the watchdog thread samples every
+  /// channel's occupancy/stall gauges and the node watermark spread into it
+  /// each poll (and keeps the watchdog alive even with timeouts disabled).
+  /// The monitor must outlive run(). Pass nullptr to detach.
+  void attach_overload(OverloadMonitor* monitor) { monitor_ = monitor; }
+
+  /// Snapshot of every channel's gauges, in connect order (capacity 0 =
+  /// unbounded loop edge). Safe to call from any thread.
+  std::vector<ChannelGauge> channel_gauges() {
+    std::vector<ChannelGauge> gauges;
+    gauges.reserve(channels_.size());
+    for (auto& ch : channels_) {
+      gauges.push_back(
+          {ch->depth(), ch->capacity(), ch->stall_ns(), ch->high_water()});
+    }
+    return gauges;
+  }
+
   /// Runs every node on its own thread; returns when the whole graph
   /// completed. Throws FlowError if a node failed or the watchdog tripped.
   void run() { run(RunOptions{}); }
@@ -216,7 +235,8 @@ class ThreadedFlow {
       threads.emplace_back([this, raw = r.get()] { raw->run(this); });
     }
     std::thread dog;
-    if (opts.watchdog_timeout.count() > 0 || opts.failure_drain.count() > 0) {
+    if (opts.watchdog_timeout.count() > 0 || opts.failure_drain.count() > 0 ||
+        monitor_ != nullptr) {
       dog = std::thread([this, opts] { watchdog(opts); });
     }
     for (auto& t : threads) t.join();
@@ -256,8 +276,11 @@ class ThreadedFlow {
     virtual bool delivered_end() const = 0;
     virtual bool loop_edge() const = 0;
     virtual void set_faults(FaultInjector* injector) = 0;
-    // Watchdog diagnostics (cross-thread reads).
+    // Watchdog / overload-monitor gauges (cross-thread reads).
     virtual std::size_t depth() = 0;
+    virtual std::size_t capacity() const = 0;
+    virtual std::uint64_t stall_ns() const = 0;
+    virtual std::size_t high_water() const = 0;
     virtual std::uint64_t delivered_count() const = 0;
     virtual bool held() const = 0;
     virtual std::size_t producer_index() const = 0;
@@ -343,15 +366,42 @@ class ThreadedFlow {
         if (consumer_->exited.load(std::memory_order_acquire)) return;
         std::lock_guard<std::mutex> lk(mu_);
         overflow_.push_back(e);
+        if (overflow_.size() > high_water_.load(std::memory_order_relaxed)) {
+          high_water_.store(overflow_.size(), std::memory_order_relaxed);
+        }
       } else {
-        while (!queue_.try_push(e)) {
-          if (flow_->abort_.load(std::memory_order_relaxed)) {
-            throw detail::FlowAborted{};
+        if (!queue_.try_push(e)) {
+          // Blocked on a full queue: producer stall time is the overload
+          // monitor's most direct backpressure signal, so charge the whole
+          // wait (including aborted/abandoned ones) to stall_ns_.
+          const auto blocked_at = std::chrono::steady_clock::now();
+          const auto charge_stall = [&] {
+            stall_ns_.fetch_add(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - blocked_at)
+                        .count()),
+                std::memory_order_relaxed);
+          };
+          for (;;) {
+            if (flow_->abort_.load(std::memory_order_relaxed)) {
+              charge_stall();
+              throw detail::FlowAborted{};
+            }
+            // A dead consumer never drains its queue; dropping instead of
+            // blocking lets the producer finish and the graph wind down.
+            if (consumer_->exited.load(std::memory_order_acquire)) {
+              charge_stall();
+              return;
+            }
+            std::this_thread::yield();
+            if (queue_.try_push(e)) break;
           }
-          // A dead consumer never drains its queue; dropping instead of
-          // blocking lets the producer finish and the graph wind down.
-          if (consumer_->exited.load(std::memory_order_acquire)) return;
-          std::this_thread::yield();
+          charge_stall();
+        }
+        const std::size_t d = queue_.size();
+        if (d > high_water_.load(std::memory_order_relaxed)) {
+          high_water_.store(d, std::memory_order_relaxed);
         }
       }
     }
@@ -408,6 +458,15 @@ class ThreadedFlow {
       }
       return queue_.size();
     }
+    std::size_t capacity() const override {
+      return loop_ ? 0 : queue_.capacity();
+    }
+    std::uint64_t stall_ns() const override {
+      return stall_ns_.load(std::memory_order_relaxed);
+    }
+    std::size_t high_water() const override {
+      return high_water_.load(std::memory_order_relaxed);
+    }
     std::uint64_t delivered_count() const override {
       return delivered_.load(std::memory_order_relaxed);
     }
@@ -450,6 +509,28 @@ class ThreadedFlow {
           // ...then the link dies; restore wipes the double-counted state.
           throw CrashInjected("dup on edge " + std::to_string(edge_id_) +
                               " delivery " + std::to_string(delivery));
+        case FaultKind::kSlowConsumer:
+          // Per-delivery pacing over a delivery range: the producer backs
+          // up behind this edge, which is the overload the shed policies
+          // react to. Semantics unaffected (FIFO order preserved).
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(ev->param_ms));
+          return;
+        case FaultKind::kSaturate:
+          // Park until the input queue is full (or param_ms elapses): an
+          // immediate high-water spike without per-delivery pacing.
+          if (!loop_) {
+            const auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(ev->param_ms);
+            while (queue_.size() < queue_.capacity() &&
+                   std::chrono::steady_clock::now() < deadline &&
+                   !flow_->abort_.load(std::memory_order_relaxed) &&
+                   !producer_->exited.load(std::memory_order_acquire)) {
+              std::this_thread::yield();
+            }
+          }
+          return;
       }
     }
 
@@ -465,6 +546,8 @@ class ThreadedFlow {
     FaultInjector* faults_{nullptr};
     std::atomic<bool> ended_{false};
     std::atomic<std::uint64_t> delivered_{0};
+    std::atomic<std::uint64_t> stall_ns_{0};
+    std::atomic<std::size_t> high_water_{0};
     std::atomic<bool> held_{false};
     std::uint64_t resume_when_{0};  // consumer-thread only
   };
@@ -511,12 +594,34 @@ class ThreadedFlow {
     return os.str();
   }
 
+  /// One overload-monitor sample: every channel's gauges plus the node
+  /// watermark spread (frontier = fastest node, typically a source;
+  /// laggard = slowest consuming node). Watchdog thread only.
+  void sample_overload() {
+    if (monitor_ == nullptr) return;
+    Timestamp frontier = kMinTimestamp;
+    Timestamp laggard = kMinTimestamp;
+    for (const auto& r : runners_) {
+      const Timestamp w = r->node->node_watermark();
+      if (w == kMinTimestamp) continue;
+      if (w > frontier) frontier = w;
+      if (!r->inputs.empty() && (laggard == kMinTimestamp || w < laggard)) {
+        laggard = w;
+      }
+    }
+    monitor_->observe(channel_gauges(), frontier, laggard);
+  }
+
   void watchdog(RunOptions opts) {
     std::unique_lock<std::mutex> lk(dog_mu_);
     std::uint64_t last = total_deliveries();
     auto last_change = std::chrono::steady_clock::now();
+    sample_overload();
     while (!dog_stop_) {
       dog_cv_.wait_for(lk, opts.watchdog_poll);
+      // Sample before the stop check so even a run shorter than one poll
+      // interval records a final (often the only) observation.
+      sample_overload();
       if (dog_stop_) return;
       const std::uint64_t now_count = total_deliveries();
       const auto now = std::chrono::steady_clock::now();
@@ -558,6 +663,7 @@ class ThreadedFlow {
   std::unordered_map<const NodeBase*, Runner*> index_;
 
   std::atomic<bool> abort_{false};
+  OverloadMonitor* monitor_{nullptr};
   std::mutex fail_mu_;
   std::vector<Failure> failures_;
   std::string watchdog_report_;

@@ -13,10 +13,24 @@
 // A pane dies once the *last* instance containing it is closed by the
 // watermark (L = 0 for J, § 3): closes is monotone in w and antitone in l,
 // so no open instance can still reach the pane.
+//
+// Probe caching: the join is eager, so every arrival probes the other side
+// of each open instance it falls in — naively that re-collects and re-sorts
+// the instance's pane range per arrival (~2× CPU vs the buffering join at
+// high WS/WA). Instead each (instance, key, side) keeps its merged probe —
+// a seq-sorted pointer vector — plus the sequence cursor it is valid up
+// to. A refresh appends only entries with seq >= cursor (each cell is
+// seq-ascending, so the suffix is found by binary search) and sorts just
+// that suffix: every new seq exceeds every cached one, so the append
+// preserves global arrival order. Cells are deques so cached pointers
+// survive later pushes; a cache entry dies with its instance in
+// purge_closed — any pane a cached probe points into is, by the closes
+// monotonicity above, only erased once that instance is closed too.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <unordered_map>
 #include <utility>
@@ -38,8 +52,8 @@ class JoinPaneStore {
     Tuple<T> t;
   };
   struct Cell {
-    std::vector<Entry<L>> lefts;
-    std::vector<Entry<R>> rights;
+    std::deque<Entry<L>> lefts;
+    std::deque<Entry<R>> rights;
   };
   using PaneMap = std::map<Timestamp, std::unordered_map<Key, Cell>>;
 
@@ -66,25 +80,38 @@ class JoinPaneStore {
   /// join's per-instance cell would hold.
   template <typename Fn>
   void for_each_left(Timestamp l, const Key& key, Fn&& fn) {
-    probe(l, key, left_scratch_,
-          [](const Cell& c) -> const std::vector<Entry<L>>& {
-            return c.lefts;
-          });
-    for (const Entry<L>* e : left_scratch_) fn(e->t);
+    const auto& sorted =
+        probe(l, key, left_probes_,
+              [](const Cell& c) -> const std::deque<Entry<L>>& {
+                return c.lefts;
+              });
+    for (const Entry<L>* e : sorted) fn(e->t);
   }
 
   template <typename Fn>
   void for_each_right(Timestamp l, const Key& key, Fn&& fn) {
-    probe(l, key, right_scratch_,
-          [](const Cell& c) -> const std::vector<Entry<R>>& {
-            return c.rights;
-          });
-    for (const Entry<R>* e : right_scratch_) fn(e->t);
+    const auto& sorted =
+        probe(l, key, right_probes_,
+              [](const Cell& c) -> const std::deque<Entry<R>>& {
+                return c.rights;
+              });
+    for (const Entry<R>* e : sorted) fn(e->t);
   }
 
   /// Erases panes no open instance can reach (the pane analogue of the
   /// buffering join's closed-instance discard).
   void purge_closed(Timestamp w) {
+    // Closed instances can no longer be probed; drop their cached probes
+    // before (not after) their panes go, so no dangling pointer survives
+    // even transiently.
+    while (!left_probes_.empty() &&
+           spec_.closes(left_probes_.begin()->first, w)) {
+      left_probes_.erase(left_probes_.begin());
+    }
+    while (!right_probes_.empty() &&
+           spec_.closes(right_probes_.begin()->first, w)) {
+      right_probes_.erase(right_probes_.begin());
+    }
     while (!panes_.empty()) {
       auto it = panes_.begin();
       if (!spec_.closes(spec_.last_instance(it->first), w)) break;
@@ -97,6 +124,8 @@ class JoinPaneStore {
 
   void clear() {
     panes_.clear();
+    left_probes_.clear();
+    right_probes_.clear();
     occupancy_ = 0;
     next_seq_ = 0;
   }
@@ -154,27 +183,49 @@ class JoinPaneStore {
     return panes_[geom_.pane_of(ts)][key];
   }
 
-  /// Collects pointers to one side's entries across the instance's pane
-  /// range and sorts them by the global sequence tag: panes are
-  /// time-ordered but arrival interleaves across panes.
+  /// One side's cached probe of an instance: the seq-sorted entry pointers
+  /// merged so far, valid for every entry with seq < upto.
+  template <typename E>
+  struct Probe {
+    std::vector<const E*> sorted;
+    std::uint64_t upto{0};
+  };
+  template <typename E>
+  using ProbeCache = std::map<Timestamp, std::unordered_map<Key, Probe<E>>>;
+
+  /// Returns the instance's seq-sorted probe, refreshing it incrementally:
+  /// only entries that arrived since the cached cursor are collected (each
+  /// cell is seq-ascending, so the new suffix is a binary search away) and
+  /// only that suffix is sorted — its seqs all exceed the cached ones, so
+  /// appending preserves global arrival order.
   template <typename E, typename Side>
-  void probe(Timestamp l, const Key& key, std::vector<const E*>& scratch,
-             Side&& side) {
-    scratch.clear();
-    const Timestamp end = l + spec_.size;
-    for (auto it = panes_.lower_bound(l); it != panes_.end() && it->first < end;
-         ++it) {
-      auto c = it->second.find(key);
-      if (c == it->second.end()) continue;
-      for (const E& e : side(c->second)) scratch.push_back(&e);
+  const std::vector<const E*>& probe(Timestamp l, const Key& key,
+                                     ProbeCache<E>& cache, Side&& side) {
+    Probe<E>& p = cache[l][key];
+    if (p.upto < next_seq_) {
+      const auto old_size = static_cast<std::ptrdiff_t>(p.sorted.size());
+      const Timestamp end = l + spec_.size;
+      for (auto it = panes_.lower_bound(l);
+           it != panes_.end() && it->first < end; ++it) {
+        auto c = it->second.find(key);
+        if (c == it->second.end()) continue;
+        const auto& entries = side(c->second);
+        auto first_new = std::lower_bound(
+            entries.begin(), entries.end(), p.upto,
+            [](const E& e, std::uint64_t s) { return e.seq < s; });
+        for (; first_new != entries.end(); ++first_new) {
+          p.sorted.push_back(&*first_new);
+        }
+      }
+      std::sort(p.sorted.begin() + old_size, p.sorted.end(),
+                [](const E* a, const E* b) { return a->seq < b->seq; });
+      p.upto = next_seq_;
     }
-    std::sort(scratch.begin(), scratch.end(),
-              [](const E* a, const E* b) { return a->seq < b->seq; });
+    return p.sorted;
   }
 
   template <typename T>
-  static void save_entries(SnapshotWriter& w,
-                           const std::vector<Entry<T>>& v) {
+  static void save_entries(SnapshotWriter& w, const std::deque<Entry<T>>& v) {
     w.write_size(v.size());
     for (const Entry<T>& e : v) {
       w.write_u64(e.seq);
@@ -183,9 +234,8 @@ class JoinPaneStore {
   }
 
   template <typename T>
-  static void load_entries(SnapshotReader& r, std::vector<Entry<T>>& v) {
+  static void load_entries(SnapshotReader& r, std::deque<Entry<T>>& v) {
     const std::size_t n = r.read_size();
-    v.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       Entry<T> e;
       e.seq = r.read_u64();
@@ -206,8 +256,8 @@ class JoinPaneStore {
   std::uint64_t occupancy_{0};
   std::uint64_t peak_occupancy_{0};
   std::uint64_t peak_panes_{0};
-  std::vector<const Entry<L>*> left_scratch_;
-  std::vector<const Entry<R>*> right_scratch_;
+  ProbeCache<Entry<L>> left_probes_;
+  ProbeCache<Entry<R>> right_probes_;
 };
 
 }  // namespace aggspes::swa

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/recovery/snapshot.hpp"
+#include "core/runtime/overload.hpp"
 #include "core/swa/late_probe.hpp"
 #include "core/swa/pane.hpp"
 #include "core/types.hpp"
@@ -78,6 +79,13 @@ class SlicedEngine {
   void add(const Tuple<In>& t, Timestamp w, const FireFn& fire,
            const AddedFn& added = {}) {
     Key key = key_fn_(t.value);
+    // Operator-level admission shedding, mirroring WindowMachine::add so
+    // both window backends degrade identically under the same policy.
+    if (shedder_ != nullptr &&
+        !shedder_->admit(static_cast<std::uint64_t>(std::hash<Key>{}(key)),
+                         t.ts, w)) {
+      return;
+    }
     const Timestamp pane_l = geom_.pane_of(t.ts);
     const Timestamp first = spec_.first_instance(t.ts);
     if (!added && !spec_.closes(first, w)) {
@@ -178,6 +186,14 @@ class SlicedEngine {
   std::uint64_t late_updates() const { return late_updates_; }
   std::uint64_t fired_instances() const { return fired_instances_; }
   std::size_t open_panes() const { return panes_.size(); }
+
+  /// Installs an operator-level load shedder consulted at add() admission
+  /// (same contract as WindowMachine::set_shedder). The shedder owns the
+  /// counters and must outlive the engine; nullptr disables shedding.
+  void set_shedder(Shedder* shedder) { shedder_ = shedder; }
+  std::uint64_t shed() const {
+    return shedder_ != nullptr ? shedder_->shed() : 0;
+  }
 
   /// Occupancy diagnostics: tuples currently stored (each exactly once —
   /// Policy::cell_count reports a cell's contribution, entries for replay,
@@ -421,6 +437,7 @@ class SlicedEngine {
   std::uint64_t peak_occupancy_{0};
   std::uint64_t peak_panes_{0};
   LateProbe late_probe_;
+  Shedder* shedder_{nullptr};
 };
 
 /// The replay fallback for arbitrary f_O: pane cells hold the tuples

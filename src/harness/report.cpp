@@ -77,4 +77,17 @@ std::string fmt_selectivity(double v) {
   return buf;
 }
 
+std::string fmt_percent(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", v * 100);
+  return buf;
+}
+
+std::string fmt_cutoff(std::uint64_t fired, double at_s) {
+  if (fired == 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "@%.2fs", at_s);
+  return buf;
+}
+
 }  // namespace aggspes::harness

@@ -2,6 +2,7 @@
 // stdout mirrors the corresponding paper figure/table.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -18,5 +19,13 @@ void print_table(const std::vector<std::string>& header,
 std::string fmt_rate(double v);
 std::string fmt_ms(double v);
 std::string fmt_selectivity(double v);
+
+/// 0.1234 -> "12.3%" (degraded-mode shed ratios).
+std::string fmt_percent(double v);
+
+/// RateSource overload-cutoff column: "-" when the cutoff never fired,
+/// "@0.42s" (scheduled-emission second) when it did — so truncated
+/// experiments are distinguishable from completed ones at a glance.
+std::string fmt_cutoff(std::uint64_t fired, double at_s);
 
 }  // namespace aggspes::harness

@@ -27,4 +27,28 @@ SustainableResult find_max_sustainable(const RateRunner& run,
   return out;
 }
 
+DegradedResult probe_degraded(const RateRunner& run,
+                              const std::vector<double>& rates,
+                              double p99_bound_ms) {
+  DegradedResult out;
+  int consecutive_out_of_bound = 0;
+  for (double rate : rates) {
+    RunResult r = run(rate);
+    // No rate criterion here: shedding exists precisely so the pipeline
+    // can stay within the latency bound while admitting less than the
+    // offered load. The honest cost shows up as r.shed_ratio.
+    const bool within =
+        r.latency.count == 0 || r.latency.p99_ms <= p99_bound_ms;
+    out.ladder.push_back({rate, r, within});
+    if (within) {
+      out.max_rate_within_bound = rate;
+      out.best = r;
+      consecutive_out_of_bound = 0;
+    } else if (++consecutive_out_of_bound >= 2) {
+      break;  // rates only get harder from here
+    }
+  }
+  return out;
+}
+
 }  // namespace aggspes::harness

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -23,6 +24,7 @@
 #include "core/operators/join_buffering.hpp"
 #include "core/operators/stateless.hpp"
 #include "core/runtime/measuring_sink.hpp"
+#include "core/runtime/overload.hpp"
 #include "core/runtime/rate_source.hpp"
 #include "core/runtime/threaded_runtime.hpp"
 #include "core/swa/backends.hpp"
@@ -85,6 +87,11 @@ struct RunConfig {
   /// experiments rescale them (A/B drivers and tests want short,
   /// like-for-like runs).
   bool keep_timing{false};
+  /// Degraded mode: with shed.policy != kNone an OverloadMonitor watches
+  /// the flow and a Shedder gates source admission; kNone (the default)
+  /// attaches neither — the run is bit-for-bit the pre-overload harness.
+  ShedConfig shed{};
+  OverloadThresholds overload{};
 };
 
 struct RunResult {
@@ -100,6 +107,17 @@ struct RunResult {
   /// pipelines (dedicated FM).
   std::uint64_t peak_stored{0};
   std::uint64_t peak_panes{0};
+  /// Degraded-mode accounting (zero / "" when cfg.shed.policy == kNone):
+  /// tuples shed at admission, shed fraction of the generated total, and
+  /// the worst flow health the monitor observed.
+  std::uint64_t shed_count{0};
+  double shed_ratio{0};
+  std::string health;
+  /// RateSource overload cutoff: 1 when generation was truncated (the run
+  /// never saw its full offered load), and the scheduled-emission second
+  /// the cutoff fired at.
+  std::uint64_t cutoff_fired{0};
+  double cutoff_at_s{0};
 };
 
 /// A pipeline runner at a given injection rate (implementation and
@@ -122,6 +140,30 @@ struct SustainableResult {
 SustainableResult find_max_sustainable(const RateRunner& run,
                                        const std::vector<double>& rates,
                                        double p99_bound_ms);
+
+struct DegradedPoint {
+  double rate;
+  RunResult result;
+  bool within_bound;  ///< p99 (over *admitted* tuples) met the bound
+};
+
+struct DegradedResult {
+  /// Highest offered rate whose degraded run kept p99 within the bound
+  /// (shedding is allowed — that is the point), 0 when none did.
+  double max_rate_within_bound{0};
+  RunResult best;  ///< metrics of that run (shed ratio, health, p99)
+  std::vector<DegradedPoint> ladder;
+};
+
+/// Degraded-mode prober: walks `rates` ascending like find_max_sustainable
+/// but never treats a run as a binary failure — each point reports the
+/// achieved rate, shed ratio and p99 under the configured shed policy.
+/// A point is within bound when its p99 meets `p99_bound_ms`; the walk
+/// stops after two consecutive out-of-bound points. The RateRunner must
+/// run with a shedding RunConfig for the ratios to be meaningful.
+DegradedResult probe_degraded(const RateRunner& run,
+                              const std::vector<double>& rates,
+                              double p99_bound_ms);
 
 namespace detail {
 
@@ -181,6 +223,15 @@ RunResult run_fm_t(Impl impl, const RunConfig& cfg,
   auto& src = flow.add<RateSource<In>>(
       detail::source_config<In>(cfg, cfg.rate, flush), std::move(gen));
   auto& sink = flow.add<MeasuringSink<Out>>();
+  // Degraded mode: monitor + source-admission shedder, stack-owned (they
+  // must outlive the run, not the flow). kNone attaches neither.
+  OverloadMonitor monitor(cfg.overload);
+  std::optional<Shedder> shedder;
+  if (cfg.shed.policy != ShedPolicy::kNone) {
+    shedder.emplace(cfg.shed, &monitor);
+    src.set_shedder(&*shedder);
+    flow.attach_overload(&monitor);
+  }
   // Reads occupancy peaks off the flow-owned windowed operator after the
   // run (empty for stateless pipelines).
   std::function<void(RunResult&)> collect;
@@ -227,6 +278,16 @@ RunResult run_fm_t(Impl impl, const RunConfig& cfg,
   RunResult r = detail::finalize(cfg, cfg.rate, t0, t1, src.emitted(),
                                  src.emission_seconds(), sink, 0);
   r.backend = backend_name(cfg.backend);
+  if (shedder) {
+    r.shed_count = shedder->shed();
+    const std::uint64_t generated = shedder->shed() + shedder->admitted();
+    r.shed_ratio = generated > 0 ? static_cast<double>(r.shed_count) /
+                                       static_cast<double>(generated)
+                                 : 0;
+    r.health = flow_health_name(monitor.worst());
+  }
+  r.cutoff_fired = src.cutoff_fired();
+  r.cutoff_at_s = src.cutoff_at_s();
   if (collect) collect(r);
   return r;
 }
@@ -279,6 +340,20 @@ RunResult run_join_t(Impl impl, const RunConfig& cfg,
   auto& src_r = flow.add<RateSource<R>>(
       detail::source_config<R>(cfg, cfg.rate / 2, flush), std::move(gen_r));
   auto& sink = flow.add<MeasuringSink<std::pair<L, R>>>();
+  // Degraded mode: one monitor, one shedder per source (decisions are
+  // producer-thread-local; distinct seeds keep the streams independent).
+  OverloadMonitor monitor(cfg.overload);
+  std::optional<Shedder> shed_l;
+  std::optional<Shedder> shed_r;
+  if (cfg.shed.policy != ShedPolicy::kNone) {
+    ShedConfig cfg_r = cfg.shed;
+    cfg_r.seed = cfg.shed.seed + 1;
+    shed_l.emplace(cfg.shed, &monitor);
+    shed_r.emplace(cfg_r, &monitor);
+    src_l.set_shedder(&*shed_l);
+    src_r.set_shedder(&*shed_r);
+    flow.attach_overload(&monitor);
+  }
   std::function<void(RunResult&)> collect;
 
   switch (impl) {
@@ -335,6 +410,17 @@ RunResult run_join_t(Impl impl, const RunConfig& cfg,
       std::max(src_l.emission_seconds(), src_r.emission_seconds()), sink,
       comparisons->load());
   r.backend = backend_name(cfg.backend);
+  if (shed_l) {
+    r.shed_count = shed_l->shed() + shed_r->shed();
+    const std::uint64_t generated = r.shed_count + shed_l->admitted() +
+                                    shed_r->admitted();
+    r.shed_ratio = generated > 0 ? static_cast<double>(r.shed_count) /
+                                       static_cast<double>(generated)
+                                 : 0;
+    r.health = flow_health_name(monitor.worst());
+  }
+  r.cutoff_fired = src_l.cutoff_fired() + src_r.cutoff_fired();
+  r.cutoff_at_s = std::max(src_l.cutoff_at_s(), src_r.cutoff_at_s());
   if (collect) collect(r);
   return r;
 }
