@@ -20,17 +20,91 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 "$BUILD/bench/bench_swa" --benchmark_format=json \
+    --benchmark_filter='-BM_OpLatency|BM_Ooo' \
     --benchmark_min_time="$MIN_TIME" >"$tmp/swa.json"
 "$BUILD/bench/bench_micro_core" --benchmark_format=json \
     --benchmark_min_time="$MIN_TIME" >"$tmp/micro.json"
+
+# The two PR-5 acceptance sections are measured with 5 repetitions and
+# read off the median aggregate: the per-op tail percentiles and the
+# reordered-throughput ratios move a few percent run to run, and one
+# median is more honest than the best of N cherry-picks.
+"$BUILD/bench/bench_swa" --benchmark_format=json \
+    --benchmark_filter='BM_OpLatency|BM_Ooo' \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_repetitions=5 \
+    --benchmark_report_aggregates_only=true >"$tmp/tails.json"
 
 jq -s '
   def cpu($f; $name):
     $f.benchmarks[] | select(.name == $name) | .cpu_time;
   def ctr($f; $name; $c):
     $f.benchmarks[] | select(.name == $name) | .[$c];
-  . as [$swa, $micro] |
+  def med($f; $rn; $field):
+    $f.benchmarks[]
+    | select(.run_name == $rn and .aggregate_name == "median") | .[$field];
+  . as [$swa, $micro, $tails] |
   {
+    # DABA acceptance (DESIGN.md § 11): worst-case-constant-time slide at
+    # WS/WA = 32 means the de-amortized structure'"'"'s per-op p999 stays
+    # within 2x its p50, while amortized TwoStacks pays its flip in one
+    # op. Counters are ns per slide step (evict + push + query).
+    worst_case_latency: (
+      ("BM_OpLatency_Daba/iterations:4194304") as $daba |
+      ("BM_OpLatency_TwoStacks/iterations:4194304") as $stacks |
+      {
+        window_panes: 32,
+        daba: {
+          p50_ns: med($tails; $daba; "p50_ns"),
+          p99_ns: med($tails; $daba; "p99_ns"),
+          p999_ns: med($tails; $daba; "p999_ns"),
+          p999_over_p50: ((med($tails; $daba; "p999_ns") /
+                           med($tails; $daba; "p50_ns")) * 100 | round / 100)
+        },
+        two_stacks: {
+          p50_ns: med($tails; $stacks; "p50_ns"),
+          p99_ns: med($tails; $stacks; "p99_ns"),
+          p999_ns: med($tails; $stacks; "p999_ns"),
+          p999_over_p50: ((med($tails; $stacks; "p999_ns") /
+                           med($tails; $stacks; "p50_ns")) * 100
+                          | round / 100)
+        },
+        accept_daba_p999_le_2x_p50:
+          (med($tails; $daba; "p999_ns") <= 2 * med($tails; $daba; "p50_ns"))
+      }
+    ),
+    # Out-of-order tolerance at WS/WA = 32: throughput retained under 10%
+    # displaced input (on time, out of order). The FIFO monoid policy
+    # invalidates and replays a key'"'"'s whole pane run; the finger tree
+    # patches the covered pane in O(log panes).
+    ooo_tolerance: (
+      {
+        reorder_percent: 10,
+        monoid_fifo: {
+          inorder_items_per_s: med($tails; "BM_Ooo_MonoidFifo_Sum/0";
+                                   "items_per_second"),
+          reordered_items_per_s: med($tails; "BM_Ooo_MonoidFifo_Sum/10";
+                                     "items_per_second"),
+          retained: ((med($tails; "BM_Ooo_MonoidFifo_Sum/10";
+                          "items_per_second") /
+                      med($tails; "BM_Ooo_MonoidFifo_Sum/0";
+                          "items_per_second")) * 1000 | round / 1000)
+        },
+        finger_tree: {
+          inorder_items_per_s: med($tails; "BM_Ooo_FingerTree_Sum/0";
+                                   "items_per_second"),
+          reordered_items_per_s: med($tails; "BM_Ooo_FingerTree_Sum/10";
+                                     "items_per_second"),
+          retained: ((med($tails; "BM_Ooo_FingerTree_Sum/10";
+                          "items_per_second") /
+                      med($tails; "BM_Ooo_FingerTree_Sum/0";
+                          "items_per_second")) * 1000 | round / 1000)
+        },
+        accept_finger_tree_ge_90pct:
+          (med($tails; "BM_Ooo_FingerTree_Sum/10"; "items_per_second") >=
+           0.9 * med($tails; "BM_Ooo_FingerTree_Sum/0"; "items_per_second"))
+      }
+    ),
     # Pane-store vs per-instance join footprint (DESIGN.md § 9): the
     # buffering join stores one copy per overlapping instance, so its
     # copy_ratio should track the WS/WA ratio while pane stays flat
@@ -64,8 +138,10 @@ jq -s '
       ((cpu($swa; "BM_FlowAggregate_Buffering") /
         cpu($swa; "BM_FlowAggregate_Monoid")) * 100 | round / 100),
     bench_swa: $swa,
-    bench_micro_core: $micro
-  }' "$tmp/swa.json" "$tmp/micro.json" >"$OUT"
+    bench_micro_core: $micro,
+    bench_swa_tails: $tails
+  }' "$tmp/swa.json" "$tmp/micro.json" "$tmp/tails.json" >"$OUT"
 
 echo "wrote $OUT"
-jq '{speedup_vs_buffering, flow_speedup_monoid_vs_buffering, join_pane_memory}' "$OUT"
+jq '{speedup_vs_buffering, flow_speedup_monoid_vs_buffering, join_pane_memory,
+     worst_case_latency, ooo_tolerance}' "$OUT"

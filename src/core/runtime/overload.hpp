@@ -32,8 +32,11 @@
 // downstream event-time semantics (monotonicity, firing) are unchanged.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/types.hpp"
@@ -263,6 +266,10 @@ class Shedder {
     }
     if (drop) {
       shed_.fetch_add(1, std::memory_order_relaxed);
+      // Like the rng, the per-key map is producer-thread state: admit()
+      // is called from the one source thread this shedder gates, so a
+      // plain map is safe; readers consume it after the run.
+      ++shed_by_key_[key_hash];
     } else {
       admitted_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -272,6 +279,31 @@ class Shedder {
   std::uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
   std::uint64_t admitted() const {
     return admitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Tuples shed per key hash (post-run accounting; see admit()).
+  const std::unordered_map<std::uint64_t, std::uint64_t>& shed_by_key()
+      const {
+    return shed_by_key_;
+  }
+
+  /// The k heaviest-shed keys as (key hash, shed count), descending by
+  /// count with key hash as the tie-break so reports are deterministic.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> top_shed_keys(
+      std::size_t k) const {
+    return rank_shed_keys(shed_by_key_, k);
+  }
+
+  static std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  rank_shed_keys(const std::unordered_map<std::uint64_t, std::uint64_t>& m,
+                 std::size_t k) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> v(m.begin(),
+                                                           m.end());
+    std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    if (v.size() > k) v.resize(k);
+    return v;
   }
 
  private:
@@ -298,6 +330,7 @@ class Shedder {
   std::uint64_t rng_state_;
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> admitted_{0};
+  std::unordered_map<std::uint64_t, std::uint64_t> shed_by_key_;
 };
 
 }  // namespace aggspes

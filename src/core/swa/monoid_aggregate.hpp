@@ -1,12 +1,26 @@
-// Aggregate / A+ / A++ over the incremental monoid backend (DESIGN.md
-// § 9). The operator-facing contract mirrors the buffering family — same
-// watermark ordering (results before the watermark that completed them),
-// same output event time γ.l + WS − δ, same allowed-lateness re-fires and
-// end-of-stream flush — but f_O is split into the monoid ⟨lift, combine,
-// identity⟩ (evaluated incrementally, amortized O(1) per fire) and a
-// `lower` step mapping the finished WindowAggregate to output payloads.
-// Functions that cannot be expressed this way stay on the replay
-// backends (core/swa/backends.hpp) or the buffering originals.
+// Aggregate / A+ / A++ over the incremental monoid backends (DESIGN.md
+// § 9, § 11). The operator-facing contract mirrors the buffering family —
+// same watermark ordering (results before the watermark that completed
+// them), same output event time γ.l + WS − δ, same allowed-lateness
+// re-fires and end-of-stream flush — but f_O is split into the monoid
+// ⟨lift, combine, identity⟩ (evaluated incrementally) and a `lower` step
+// mapping the finished WindowAggregate to output payloads. Functions that
+// cannot be expressed this way stay on the replay backends
+// (core/swa/backends.hpp) or the buffering originals.
+//
+// The evaluation policy is a template parameter: MonoidPolicy (two-stacks,
+// amortized O(1) — the default and the PR-2 behaviour), DabaPolicy
+// (worst-case O(1) per tuple, no flip spike) or FingerTreePolicy
+// (out-of-order absorbs without cross-key invalidation). All three share
+// one pane-cell format, so a snapshot taken under any of them restores
+// into any other.
+//
+// Snapshot codec: versioned, following the JoinOp precedent. Version 2
+// (current) adds the policy's max-cached-keys bound so a restored
+// operator keeps its memory knob; the legacy layout — whose first
+// post-base byte was a has_state bool of 0/1, disjoint from version tags
+// >= 2 — is read as version 1 and migrated (machine state only, knob at
+// its default). Unknown versions raise SnapshotError.
 #pragma once
 
 #include <functional>
@@ -15,15 +29,47 @@
 #include <vector>
 
 #include "core/operators/operator_base.hpp"
+#include "core/swa/daba.hpp"
+#include "core/swa/finger_tree.hpp"
 #include "core/swa/monoid_machine.hpp"
 
 namespace aggspes::swa {
 
+inline constexpr std::uint8_t kMonoidAggCodecVersion = 2;
+
+namespace detail {
+
+/// Shared codec: version byte, policy knob, machine state.
+template <typename Machine>
+void save_monoid_machine(SnapshotWriter& w, const Machine& m,
+                         std::uint64_t max_cached_keys) {
+  w.write_pod<std::uint8_t>(kMonoidAggCodecVersion);
+  w.write_u64(max_cached_keys);
+  m.save(w);
+}
+
+template <typename Machine>
+void load_monoid_machine(SnapshotReader& r, std::uint8_t version, Machine& m,
+                         const char* who) {
+  if (version == 1) {
+    m.load(r);  // legacy bool-true layout: machine state, no knob
+  } else if (version == kMonoidAggCodecVersion) {
+    m.policy().set_max_cached_keys(r.read_u64());
+    m.load(r);
+  } else {
+    throw SnapshotError("unknown " + std::string(who) + " codec version " +
+                        std::to_string(version));
+  }
+}
+
+}  // namespace detail
+
 /// A with a monoid f_O: at most one output per instance.
-template <typename In, typename Out, typename Key, typename Agg>
+template <typename In, typename Out, typename Key, typename Agg,
+          typename Policy = MonoidPolicy<In, Agg, Key>>
 class MonoidAggregateOp final : public UnaryNode<In, Out> {
  public:
-  using Machine = MonoidWindowMachine<In, Agg, Key>;
+  using Machine = SlicedEngine<In, Key, Policy>;
   using KeyFn = typename Machine::KeyFn;
   /// lower(key, window aggregate) → payload, or nullopt (∅) for no output.
   using LowerFn =
@@ -33,8 +79,7 @@ class MonoidAggregateOp final : public UnaryNode<In, Out> {
                     LowerFn lower, int regular_inputs = 1,
                     int loop_inputs = 0, bool flush_on_end = true)
       : UnaryNode<In, Out>(regular_inputs, loop_inputs),
-        machine_(spec, std::move(f_k),
-                 MonoidPolicy<In, Agg, Key>(std::move(m))),
+        machine_(spec, std::move(f_k), Policy(std::move(m))),
         lower_(std::move(lower)),
         flush_on_end_(flush_on_end) {}
 
@@ -44,19 +89,20 @@ class MonoidAggregateOp final : public UnaryNode<In, Out> {
   void snapshot_to(SnapshotWriter& w) const override {
     this->save_base(w);
     if constexpr (kSerializable) {
-      w.write_bool(true);
-      machine_.save(w);
+      detail::save_monoid_machine(w, machine_,
+                                  machine_.policy().max_cached_keys());
     } else {
-      w.write_bool(false);
+      w.write_pod<std::uint8_t>(0);  // no state (payload lacks a codec)
     }
   }
 
   void restore_from(SnapshotReader& r) override {
     this->load_base(r);
-    const bool has_state = r.read_bool();
+    const std::uint8_t version = r.read_pod<std::uint8_t>();
+    if (version == 0) return;
     if constexpr (kSerializable) {
-      if (has_state) machine_.load(r);
-    } else if (has_state) {
+      detail::load_monoid_machine(r, version, machine_, "MonoidAggregateOp");
+    } else {
       throw SnapshotError("MonoidAggregateOp aggregate lacks a StateCodec");
     }
   }
@@ -96,10 +142,11 @@ class MonoidAggregateOp final : public UnaryNode<In, Out> {
 };
 
 /// A+ with a monoid f_O: any number of outputs per instance.
-template <typename In, typename Out, typename Key, typename Agg>
+template <typename In, typename Out, typename Key, typename Agg,
+          typename Policy = MonoidPolicy<In, Agg, Key>>
 class MonoidAggregatePlusOp final : public UnaryNode<In, Out> {
  public:
-  using Machine = MonoidWindowMachine<In, Agg, Key>;
+  using Machine = SlicedEngine<In, Key, Policy>;
   using KeyFn = typename Machine::KeyFn;
   using LowerFn = std::function<std::vector<Out>(
       const Key&, const WindowAggregate<Agg>&)>;
@@ -108,8 +155,7 @@ class MonoidAggregatePlusOp final : public UnaryNode<In, Out> {
                         LowerFn lower, int regular_inputs = 1,
                         int loop_inputs = 0)
       : UnaryNode<In, Out>(regular_inputs, loop_inputs),
-        machine_(spec, std::move(f_k),
-                 MonoidPolicy<In, Agg, Key>(std::move(m))),
+        machine_(spec, std::move(f_k), Policy(std::move(m))),
         lower_(std::move(lower)) {}
 
   const Machine& machine() const { return machine_; }
@@ -118,19 +164,21 @@ class MonoidAggregatePlusOp final : public UnaryNode<In, Out> {
   void snapshot_to(SnapshotWriter& w) const override {
     this->save_base(w);
     if constexpr (kSerializable) {
-      w.write_bool(true);
-      machine_.save(w);
+      detail::save_monoid_machine(w, machine_,
+                                  machine_.policy().max_cached_keys());
     } else {
-      w.write_bool(false);
+      w.write_pod<std::uint8_t>(0);
     }
   }
 
   void restore_from(SnapshotReader& r) override {
     this->load_base(r);
-    const bool has_state = r.read_bool();
+    const std::uint8_t version = r.read_pod<std::uint8_t>();
+    if (version == 0) return;
     if constexpr (kSerializable) {
-      if (has_state) machine_.load(r);
-    } else if (has_state) {
+      detail::load_monoid_machine(r, version, machine_,
+                                  "MonoidAggregatePlusOp");
+    } else {
       throw SnapshotError(
           "MonoidAggregatePlusOp aggregate lacks a StateCodec");
     }
@@ -172,10 +220,11 @@ class MonoidAggregatePlusOp final : public UnaryNode<In, Out> {
 /// A++ with a monoid f_O: the incremental function lowers the instance's
 /// *running* aggregate on every arrival and emits immediately; `lower`
 /// still runs on expiration (return {} when eager emission covers it).
-template <typename In, typename Out, typename Key, typename Agg>
+template <typename In, typename Out, typename Key, typename Agg,
+          typename Policy = MonoidPolicy<In, Agg, Key>>
 class MonoidAggregateEagerOp final : public UnaryNode<In, Out> {
  public:
-  using Machine = MonoidWindowMachine<In, Agg, Key>;
+  using Machine = SlicedEngine<In, Key, Policy>;
   using KeyFn = typename Machine::KeyFn;
   using LowerFn = std::function<std::vector<Out>(
       const Key&, const WindowAggregate<Agg>&)>;
@@ -184,8 +233,7 @@ class MonoidAggregateEagerOp final : public UnaryNode<In, Out> {
                          LowerFn eager, LowerFn lower,
                          int regular_inputs = 1)
       : UnaryNode<In, Out>(regular_inputs, 0),
-        machine_(spec, std::move(f_k),
-                 MonoidPolicy<In, Agg, Key>(std::move(m))),
+        machine_(spec, std::move(f_k), Policy(std::move(m))),
         eager_(std::move(eager)),
         lower_(std::move(lower)) {}
 
@@ -195,19 +243,21 @@ class MonoidAggregateEagerOp final : public UnaryNode<In, Out> {
   void snapshot_to(SnapshotWriter& w) const override {
     this->save_base(w);
     if constexpr (kSerializable) {
-      w.write_bool(true);
-      machine_.save(w);
+      detail::save_monoid_machine(w, machine_,
+                                  machine_.policy().max_cached_keys());
     } else {
-      w.write_bool(false);
+      w.write_pod<std::uint8_t>(0);
     }
   }
 
   void restore_from(SnapshotReader& r) override {
     this->load_base(r);
-    const bool has_state = r.read_bool();
+    const std::uint8_t version = r.read_pod<std::uint8_t>();
+    if (version == 0) return;
     if constexpr (kSerializable) {
-      if (has_state) machine_.load(r);
-    } else if (has_state) {
+      detail::load_monoid_machine(r, version, machine_,
+                                  "MonoidAggregateEagerOp");
+    } else {
       throw SnapshotError(
           "MonoidAggregateEagerOp aggregate lacks a StateCodec");
     }
@@ -251,5 +301,27 @@ class MonoidAggregateEagerOp final : public UnaryNode<In, Out> {
       [this](Timestamp l, const Key& k, const WindowAggregate<Agg>& wa,
              bool) { emit_all(l, wa, lower_(k, wa)); };
 };
+
+// --- Backend-selected aliases (WindowBackend::kMonoidDaba / kFingerTree)
+
+template <typename In, typename Out, typename Key, typename Agg>
+using DabaAggregateOp =
+    MonoidAggregateOp<In, Out, Key, Agg, DabaPolicy<In, Agg, Key>>;
+template <typename In, typename Out, typename Key, typename Agg>
+using DabaAggregatePlusOp =
+    MonoidAggregatePlusOp<In, Out, Key, Agg, DabaPolicy<In, Agg, Key>>;
+template <typename In, typename Out, typename Key, typename Agg>
+using DabaAggregateEagerOp =
+    MonoidAggregateEagerOp<In, Out, Key, Agg, DabaPolicy<In, Agg, Key>>;
+
+template <typename In, typename Out, typename Key, typename Agg>
+using FingerTreeAggregateOp =
+    MonoidAggregateOp<In, Out, Key, Agg, FingerTreePolicy<In, Agg, Key>>;
+template <typename In, typename Out, typename Key, typename Agg>
+using FingerTreeAggregatePlusOp =
+    MonoidAggregatePlusOp<In, Out, Key, Agg, FingerTreePolicy<In, Agg, Key>>;
+template <typename In, typename Out, typename Key, typename Agg>
+using FingerTreeAggregateEagerOp =
+    MonoidAggregateEagerOp<In, Out, Key, Agg, FingerTreePolicy<In, Agg, Key>>;
 
 }  // namespace aggspes::swa

@@ -12,162 +12,23 @@
 // Correctness never depends on the stacks — they are a cache over the
 // authoritative pane cells, which is also why snapshots persist only the
 // cells and reset() drops the stacks wholesale.
+//
+// The policy machinery (cell format, combiner, LRU key-cache bound,
+// version/frontier invalidation) lives in policy_base.hpp, shared with
+// DabaPolicy (daba.hpp — same sliding FIFO, worst-case O(1) evict) and
+// FingerTreePolicy (finger_tree.hpp — no invalidation on out-of-order).
 #pragma once
 
-#include <algorithm>
-#include <cstdint>
-#include <unordered_map>
-#include <utility>
-
-#include "core/recovery/snapshot.hpp"
-#include "core/swa/monoid.hpp"
-#include "core/swa/pane.hpp"
+#include "core/swa/policy_base.hpp"
 #include "core/swa/sliced_machine.hpp"
 #include "core/swa/two_stacks.hpp"
-#include "core/types.hpp"
-#include "core/window.hpp"
 
 namespace aggspes::swa {
 
+/// The PR-2 incremental policy: per-key two-stacks over pane partials.
 template <typename In, typename Agg, typename Key>
-class MonoidPolicy {
- public:
-  /// Per-(pane, key) partial: fold of the pane's lifted tuples in arrival
-  /// order, plus count/stamp metadata carried through combines.
-  struct Cell {
-    Agg agg{};
-    std::uint64_t count{0};
-    std::uint64_t stamp{0};
-  };
-  using Result = WindowAggregate<Agg>;
-
-  explicit MonoidPolicy(Monoid<In, Agg> m) : m_(std::move(m)) {}
-
-  void absorb(Cell& c, Timestamp pane_l, const Tuple<In>& t,
-              std::uint64_t /*seq*/) {
-    Agg lifted = m_.lift(t.value);
-    c.agg = c.count == 0 ? std::move(lifted) : m_.combine(c.agg, lifted);
-    ++c.count;
-    c.stamp = std::max(c.stamp, t.stamp);
-    if (pane_l < frontier_) ++version_;  // pane inside built stacks mutated
-  }
-
-  /// Tuples folded into a cell — its contribution to the engine's
-  /// occupancy diagnostics (the partial itself is O(1) regardless).
-  static std::size_t cell_count(const Cell& c) { return c.count; }
-
-  template <typename PaneMap>
-  const Result& evaluate(const PaneMap& panes, const WindowSpec& spec,
-                         const PaneGeometry& geom, Timestamp l,
-                         const Key& key, bool sequential) {
-    const Timestamp end = l + spec.size;
-    if (!sequential) {
-      // Late re-fires and eager hooks: fold the pane range directly; no
-      // cache to keep coherent.
-      result_ = fold_range(panes, geom, l, end, key);
-      return result_;
-    }
-    KeyStacks& ks = stacks_[key];
-    if (ks.version != version_ || ks.from > l || ks.to > end ||
-        ks.to < ks.from) {
-      ks.stacks.clear();
-      ks.from = ks.to = l;
-      ks.version = version_;
-    }
-    while (ks.from < l) {
-      if (ks.stacks.empty()) {
-        ks.from = ks.to = l;
-        break;
-      }
-      ks.stacks.evict(combiner());
-      ks.from += geom.width;
-    }
-    while (ks.to < end) {
-      ks.stacks.push(pane_partial(panes, ks.to, key), combiner());
-      ks.to += geom.width;
-    }
-    if (ks.to > frontier_) frontier_ = ks.to;
-    result_ = ks.stacks.query_or(identity_result(), combiner());
-    return result_;
-  }
-
-  void reset() {
-    stacks_.clear();
-    ++version_;
-    frontier_ = kMinTimestamp;
-  }
-
-  void save_cell(SnapshotWriter& w, const Cell& c) const {
-    write_value(w, c.agg);
-    w.write_u64(c.count);
-    w.write_u64(c.stamp);
-  }
-
-  Cell load_cell(SnapshotReader& r) const {
-    Cell c;
-    c.agg = read_value<Agg>(r);
-    c.count = r.read_u64();
-    c.stamp = r.read_u64();
-    return c;
-  }
-
-  const Monoid<In, Agg>& monoid() const { return m_; }
-
- private:
-  /// Combines WindowAggregates; a precedes b in event-time order.
-  struct Comb {
-    const Monoid<In, Agg>* m;
-    Result operator()(const Result& a, const Result& b) const {
-      if (a.count == 0) return b;
-      if (b.count == 0) return a;
-      return {m->combine(a.agg, b.agg), a.count + b.count,
-              std::max(a.stamp, b.stamp)};
-    }
-  };
-  Comb combiner() const { return Comb{&m_}; }
-
-  Result identity_result() const { return {m_.identity, 0, 0}; }
-
-  template <typename PaneMap>
-  Result pane_partial(const PaneMap& panes, Timestamp pane_l,
-                      const Key& key) const {
-    auto it = panes.find(pane_l);
-    if (it == panes.end()) return identity_result();
-    auto cell = it->second.find(key);
-    if (cell == it->second.end()) return identity_result();
-    return {cell->second.agg, cell->second.count, cell->second.stamp};
-  }
-
-  template <typename PaneMap>
-  Result fold_range(const PaneMap& panes, const PaneGeometry& geom,
-                    Timestamp l, Timestamp end, const Key& key) const {
-    Result acc = identity_result();
-    const Comb comb = combiner();
-    (void)geom;
-    for (auto it = panes.lower_bound(l); it != panes.end() && it->first < end;
-         ++it) {
-      auto cell = it->second.find(key);
-      if (cell == it->second.end()) continue;
-      acc = comb(acc, Result{cell->second.agg, cell->second.count,
-                             cell->second.stamp});
-    }
-    return acc;
-  }
-
-  /// Per-key sliding cache: one TwoStacks entry per pane in [from, to).
-  struct KeyStacks {
-    TwoStacks<Result> stacks;
-    Timestamp from{0};
-    Timestamp to{0};
-    std::uint64_t version{~std::uint64_t{0}};  // mismatch → rebuild on use
-  };
-
-  Monoid<In, Agg> m_;
-  std::unordered_map<Key, KeyStacks> stacks_;
-  Result result_{};
-  Timestamp frontier_{kMinTimestamp};  ///< max pane boundary inside any stacks
-  std::uint64_t version_{0};
-};
+using MonoidPolicy =
+    FifoMonoidPolicy<In, Agg, Key, TwoStacks<WindowAggregate<Agg>>>;
 
 /// The incremental sliced backend: construct with
 /// `MonoidWindowMachine<In, Agg, Key>(spec, key_fn, MonoidPolicy(m))`.

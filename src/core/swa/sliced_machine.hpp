@@ -73,6 +73,7 @@ class SlicedEngine {
   const WindowSpec& spec() const { return spec_; }
   const PaneGeometry& geometry() const { return geom_; }
   Policy& policy() { return policy_; }
+  const Policy& policy() const { return policy_; }
 
   /// Inserts `t` once (into its pane) and applies per-instance admission,
   /// eager hooks and late re-fires exactly like WindowMachine::add.
@@ -206,6 +207,12 @@ class SlicedEngine {
     peak_occupancy_ = occupancy_;
     peak_panes_ = panes_.size();
     late_probe_.reset();
+    // Policies with their own diagnostics (cache evictions, out-of-order
+    // fixups, peak cached keys) clear them under the same call — the PR-3
+    // convention that a reset leaves no counter from a previous run.
+    if constexpr (requires(Policy& p) { p.reset_diagnostics(); }) {
+      policy_.reset_diagnostics();
+    }
   }
 
   /// Number of instances holding data and not yet purged (WindowMachine's
@@ -316,7 +323,7 @@ class SlicedEngine {
       pane_cache_l_ = pane_l;
     }
     auto [cell, inserted] = pane_cache_->try_emplace(key);
-    policy_.absorb(cell->second, pane_l, t, next_seq_++);
+    policy_.absorb(key, cell->second, pane_l, t, next_seq_++);
     if (++occupancy_ > peak_occupancy_) peak_occupancy_ = occupancy_;
     if (panes_.size() > peak_panes_) peak_panes_ = panes_.size();
     if (inserted && union_valid_ && pane_l >= union_from_ &&
@@ -457,7 +464,9 @@ class ReplayPolicy {
   };
   using Result = std::vector<Tuple<In>>;
 
-  void absorb(Cell& c, Timestamp, const Tuple<In>& t, std::uint64_t seq) {
+  template <typename Key>
+  void absorb(const Key& /*key*/, Cell& c, Timestamp, const Tuple<In>& t,
+              std::uint64_t seq) {
     c.entries.push_back({seq, t});
   }
 

@@ -1,7 +1,8 @@
 // Two-stacks sliding aggregation (the FIFO variant of "In-Order
 // Sliding-Window Aggregation in Worst-Case Constant Time", Tangwongsan et
-// al. — we implement the classic amortized-O(1) two-stacks form; DABA
-// would shave the worst case of the flip, not the amortized cost).
+// al. — the classic amortized-O(1) two-stacks form; daba.hpp holds the
+// de-amortized variant that spreads the flip, same interface and wire
+// format).
 //
 // Maintains a FIFO of values from an associative monoid and answers
 // "aggregate of everything currently in the FIFO, in insertion order" in

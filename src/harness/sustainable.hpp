@@ -14,6 +14,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -49,28 +50,48 @@ inline const std::vector<Impl>& all_impls() {
   return v;
 }
 
-/// The window-state backend axis (DESIGN.md § 9), orthogonal to Impl:
-/// kBuffering copies each tuple into every overlapping instance
+/// The window-state backend axis (DESIGN.md § 9, § 11), orthogonal to
+/// Impl: kBuffering copies each tuple into every overlapping instance
 /// (WindowMachine / BufferingJoinOp); kSlicedReplay stores each tuple once
-/// in its gcd(WA, WS) pane (SlicedWindowMachine / pane-backed JoinOp);
-/// kMonoid keeps per-pane partial aggregates and only applies where f_O
-/// admits a monoid — none of the Table-1 experiments do, so runners throw
-/// std::invalid_argument for it (the registry records the reason).
-enum class WindowBackend { kBuffering, kSlicedReplay, kMonoid };
+/// in its gcd(WA, WS) pane (SlicedWindowMachine / pane-backed JoinOp); the
+/// monoid family keeps per-pane partial aggregates — kMonoid answers fires
+/// from per-key two-stacks (amortized O(1)), kMonoidDaba from a DABA-style
+/// FIFO (worst-case O(1), no flip spike), kFingerTree from a balanced
+/// aggregation tree (out-of-order absorbs without invalidation). The
+/// monoid family only applies where f_O admits a monoid — none of the
+/// Table-1 experiments do, so runners throw std::invalid_argument for
+/// them (the registry records the per-backend reason).
+enum class WindowBackend {
+  kBuffering,
+  kSlicedReplay,
+  kMonoid,
+  kMonoidDaba,
+  kFingerTree,
+};
 
 inline const char* backend_name(WindowBackend b) {
   switch (b) {
     case WindowBackend::kBuffering: return "buffering";
     case WindowBackend::kSlicedReplay: return "sliced-replay";
     case WindowBackend::kMonoid: return "monoid";
+    case WindowBackend::kMonoidDaba: return "monoid-daba";
+    case WindowBackend::kFingerTree: return "finger-tree";
   }
   return "?";
 }
 
+/// True for the backends that require f_O to be a monoid (illegal for the
+/// Table-1 workloads; see run_fm / run_join).
+inline bool is_monoid_family(WindowBackend b) {
+  return b == WindowBackend::kMonoid || b == WindowBackend::kMonoidDaba ||
+         b == WindowBackend::kFingerTree;
+}
+
 inline const std::vector<WindowBackend>& all_backends() {
-  static const std::vector<WindowBackend> v{WindowBackend::kBuffering,
-                                            WindowBackend::kSlicedReplay,
-                                            WindowBackend::kMonoid};
+  static const std::vector<WindowBackend> v{
+      WindowBackend::kBuffering, WindowBackend::kSlicedReplay,
+      WindowBackend::kMonoid, WindowBackend::kMonoidDaba,
+      WindowBackend::kFingerTree};
   return v;
 }
 
@@ -94,6 +115,9 @@ struct RunConfig {
   OverloadThresholds overload{};
 };
 
+/// How many of the heaviest-shed keys a run reports.
+inline constexpr std::size_t kShedTopK = 8;
+
 struct RunResult {
   double offered_per_s{0};   ///< configured injection rate
   double achieved_per_s{0};  ///< rate the source actually sustained
@@ -113,6 +137,11 @@ struct RunResult {
   std::uint64_t shed_count{0};
   double shed_ratio{0};
   std::string health;
+  /// Heaviest-shed keys (key hash → tuples shed), descending, at most
+  /// kShedTopK entries, summed over both sources for joins. Lets tests
+  /// and reports check *which* keys paid for degradation — per-key-fair
+  /// should spread the pain, random-p should mirror the key skew.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> shed_top_keys;
   /// RateSource overload cutoff: 1 when generation was truncated (the run
   /// never saw its full offered load), and the scheduled-emission second
   /// the cutoff fired at.
@@ -285,6 +314,7 @@ RunResult run_fm_t(Impl impl, const RunConfig& cfg,
                                        static_cast<double>(generated)
                                  : 0;
     r.health = flow_health_name(monitor.worst());
+    r.shed_top_keys = shedder->top_shed_keys(kShedTopK);
   }
   r.cutoff_fired = src.cutoff_fired();
   r.cutoff_at_s = src.cutoff_at_s();
@@ -292,8 +322,9 @@ RunResult run_fm_t(Impl impl, const RunConfig& cfg,
   return r;
 }
 
-/// Builds and runs one FM experiment, dispatching on cfg.backend. kMonoid
-/// throws: FM's f_FM is an arbitrary user function, not a monoid.
+/// Builds and runs one FM experiment, dispatching on cfg.backend. The
+/// monoid family throws: FM's f_FM is an arbitrary user function, not a
+/// monoid, whichever structure would hold the partials.
 template <typename In, typename Out>
 RunResult run_fm(Impl impl, const RunConfig& cfg,
                  std::function<In(std::uint64_t)> gen,
@@ -306,11 +337,14 @@ RunResult run_fm(Impl impl, const RunConfig& cfg,
       return run_fm_t<In, Out, swa::SlicedWindowMachine>(
           impl, cfg, std::move(gen), std::move(f_fm));
     case WindowBackend::kMonoid:
+    case WindowBackend::kMonoidDaba:
+    case WindowBackend::kFingerTree:
       break;
   }
   throw std::invalid_argument(
-      "FM cannot run under the monoid backend: f_FM is an arbitrary "
-      "user function, not a monoid");
+      std::string("FM cannot run under the ") +
+      backend_name(cfg.backend) +
+      " backend: f_FM is an arbitrary user function, not a monoid");
 }
 
 /// Builds and runs one J experiment (D / A / A+) at cfg.rate, split evenly
@@ -418,6 +452,12 @@ RunResult run_join_t(Impl impl, const RunConfig& cfg,
                                        static_cast<double>(generated)
                                  : 0;
     r.health = flow_health_name(monitor.worst());
+    // Sum the per-source maps before ranking: a key's total shed count is
+    // what fairness is judged on, whichever stream its tuples arrived on.
+    std::unordered_map<std::uint64_t, std::uint64_t> merged =
+        shed_l->shed_by_key();
+    for (const auto& [k, n] : shed_r->shed_by_key()) merged[k] += n;
+    r.shed_top_keys = Shedder::rank_shed_keys(merged, kShedTopK);
   }
   r.cutoff_fired = src_l.cutoff_fired() + src_r.cutoff_fired();
   r.cutoff_at_s = std::max(src_l.cutoff_at_s(), src_r.cutoff_at_s());
@@ -425,9 +465,9 @@ RunResult run_join_t(Impl impl, const RunConfig& cfg,
   return r;
 }
 
-/// Builds and runs one J experiment, dispatching on cfg.backend. kMonoid
-/// throws: the cartesian match consumes the window's tuples themselves,
-/// which a monoid partial cannot provide.
+/// Builds and runs one J experiment, dispatching on cfg.backend. The
+/// monoid family throws: the cartesian match consumes the window's tuples
+/// themselves, which a monoid partial cannot provide.
 template <typename L, typename R, typename Key>
 RunResult run_join(Impl impl, const RunConfig& cfg,
                    std::function<L(std::uint64_t)> gen_l,
@@ -445,11 +485,14 @@ RunResult run_join(Impl impl, const RunConfig& cfg,
           impl, cfg, std::move(gen_l), std::move(gen_r), spec,
           std::move(f_k1), std::move(f_k2), std::move(f_p));
     case WindowBackend::kMonoid:
+    case WindowBackend::kMonoidDaba:
+    case WindowBackend::kFingerTree:
       break;
   }
   throw std::invalid_argument(
-      "J cannot run under the monoid backend: the cartesian match f_P "
-      "needs the window's tuples, not a monoid partial");
+      std::string("J cannot run under the ") + backend_name(cfg.backend) +
+      " backend: the cartesian match f_P needs the window's tuples, not "
+      "a monoid partial");
 }
 
 }  // namespace aggspes::harness

@@ -6,8 +6,11 @@
 // faults lives in tests/recovery/overload_chaos_test.cpp.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/operators/window_machine.hpp"
@@ -400,6 +403,96 @@ TEST(ProbeDegraded, EmptyWhenNothingWithinBound) {
   const auto res = harness::probe_degraded(runner, {100, 200, 300}, 1.0);
   EXPECT_DOUBLE_EQ(res.max_rate_within_bound, 0);
   EXPECT_EQ(res.ladder.size(), 2u);  // stopped after two misses
+}
+
+// --- Per-key shed accounting ---------------------------------------------
+
+TEST(ShedAccounting, PerKeyCountsSumToTotalAndOmitUnshedKeys) {
+  Shedder s({.policy = ShedPolicy::kRandomP, .p_overloaded = 0.5, .seed = 5});
+  // Skewed traffic: key 0 hot, keys 1..9 cold; healthy traffic on key 42
+  // must never appear in the map.
+  for (int i = 0; i < 2000; ++i) {
+    s.admit(FlowHealth::kOverloaded, static_cast<std::uint64_t>(i % 10 == 0
+                                                                    ? 0
+                                                                    : i % 10),
+            i);
+    s.admit(FlowHealth::kHealthy, 42, i);
+  }
+  std::uint64_t sum = 0;
+  for (const auto& [key, n] : s.shed_by_key()) {
+    EXPECT_NE(key, 42u);
+    EXPECT_GT(n, 0u);
+    sum += n;
+  }
+  EXPECT_EQ(sum, s.shed());
+  EXPECT_GT(s.shed(), 0u);
+}
+
+TEST(ShedAccounting, RankIsDeterministicWithTieBreakAndTruncation) {
+  const std::unordered_map<std::uint64_t, std::uint64_t> m = {
+      {7, 30}, {3, 30}, {9, 100}, {1, 5}, {4, 1}};
+  const auto top = Shedder::rank_shed_keys(m, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], (std::pair<std::uint64_t, std::uint64_t>{9, 100}));
+  // Equal counts rank by key hash ascending — stable across runs.
+  EXPECT_EQ(top[1], (std::pair<std::uint64_t, std::uint64_t>{3, 30}));
+  EXPECT_EQ(top[2], (std::pair<std::uint64_t, std::uint64_t>{7, 30}));
+  // k beyond the population returns everything, no padding.
+  EXPECT_EQ(Shedder::rank_shed_keys(m, 99).size(), 5u);
+  EXPECT_TRUE(Shedder::rank_shed_keys({}, 4).empty());
+}
+
+TEST(ShedAccounting, PerKeyFairShedsWholeKeysVisibleInAccounting) {
+  // kPerKeyFair's promise is all-or-nothing per key within an epoch; the
+  // per-key map makes that auditable: a shed key's count equals its
+  // arrivals, an admitted key is absent.
+  Shedder s({.policy = ShedPolicy::kPerKeyFair,
+             .p_overloaded = 0.5,
+             .seed = 3,
+             .fair_epoch = 1000});
+  constexpr int kPerKey = 37;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    for (int i = 0; i < kPerKey; ++i) {
+      s.admit(FlowHealth::kOverloaded, splitmix64(key), i % 1000);
+    }
+  }
+  EXPECT_FALSE(s.shed_by_key().empty());
+  for (const auto& [key, n] : s.shed_by_key()) {
+    EXPECT_EQ(n, static_cast<std::uint64_t>(kPerKey)) << key;
+  }
+  const auto top = s.top_shed_keys(harness::kShedTopK);
+  EXPECT_EQ(top.size(), std::min<std::size_t>(harness::kShedTopK,
+                                              s.shed_by_key().size()));
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].second, top[i].second);
+  }
+}
+
+TEST(ShedAccounting, SourceGatedShedderPopulatesTopKeys) {
+  // End-to-end through the admission hook: a pinned-overloaded
+  // source-gated shedder accumulates the per-key map the harness copies
+  // into RunResult::shed_top_keys (run_fm_t / run_join_t).
+  OverloadMonitor m;
+  m.observe({{100, 100, 0, 100}}, 0, kMinTimestamp);  // pinned overloaded
+  Shedder shed({.policy = ShedPolicy::kRandomP, .p_overloaded = 1.0}, &m);
+
+  RateSourceConfig cfg{.rate = 2000, .duration_s = 0.05, .wm_period = 10};
+  ThreadedFlow flow;
+  auto& src = flow.add<RateSource<int>>(cfg, [](std::uint64_t i) {
+    return static_cast<int>(i % 5);
+  });
+  src.set_shedder(&shed);
+  auto& sink = flow.add<MeasuringSink<int>>();
+  flow.connect(src, src.out(), sink, sink.in());
+  flow.run();
+
+  ASSERT_GT(shed.shed(), 0u);
+  const auto top = shed.top_shed_keys(harness::kShedTopK);
+  ASSERT_FALSE(top.empty());
+  EXPECT_LE(top.size(), harness::kShedTopK);
+  std::uint64_t sum = 0;
+  for (const auto& [key, n] : shed.shed_by_key()) sum += n;
+  EXPECT_EQ(sum, shed.shed());
 }
 
 }  // namespace
