@@ -13,16 +13,21 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <optional>
 #include <random>
 #include <vector>
 
+#include "aggbased/flatmap.hpp"
 #include "core/operators/aggregate.hpp"
 #include "core/operators/join.hpp"
 #include "core/operators/join_buffering.hpp"
 #include "core/operators/sink.hpp"
 #include "core/operators/source.hpp"
 #include "core/operators/window_machine.hpp"
+#include "core/recovery/durable_source.hpp"
+#include "core/recovery/input_log.hpp"
+#include "core/recovery/replay_source.hpp"
 #include "core/swa/backends.hpp"
 #include "core/swa/daba.hpp"
 #include "core/swa/finger_tree.hpp"
@@ -362,6 +367,159 @@ void BM_Ooo_FingerTree_Sum(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_Ooo_FingerTree_Sum)->Arg(0)->Arg(10);
+
+// --- Durable ingestion: WAL overhead (DESIGN.md § 12) -------------------
+//
+// run_micro.sh copies these into BENCH_swa.json's wal_overhead section:
+// raw append throughput and per-group ack latency of the input log, the
+// durable-vs-plain source ingest ratio (acceptance: DurableSource keeps
+// >= 80% of ReplaySource's rate at group_commit = 64), and the recovery
+// replay rate (restart cost = reopen-scan + WAL-suffix replay). Rates use
+// wall time — the interesting cost is the fsync wait, which never shows
+// up as CPU.
+
+namespace fs = std::filesystem;
+
+fs::path bench_wal_dir(const char* tag) {
+  const fs::path dir =
+      fs::temp_directory_path() / (std::string("aggspes_bench_wal_") + tag);
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Append throughput at group_commit = arg, with the ack latency (time
+/// from a group's first append to the fsync that makes it durable)
+/// sampled per group. Retention runs every 256 groups so the bench also
+/// pays the occasional truncate-below-frontier, as a real run would.
+void BM_WalAppend(benchmark::State& state) {
+  const auto group = static_cast<std::size_t>(state.range(0));
+  const fs::path dir = bench_wal_dir("append");
+  InputLog log(WalOptions{dir, 1 << 20, 0});
+  const std::vector<std::uint8_t> payload(64, 0xA5);
+  std::vector<std::uint64_t> group_ns;
+  group_ns.reserve(1 << 16);
+  std::uint64_t ck = 0;
+  while (state.KeepRunningBatch(
+      static_cast<benchmark::IterationCount>(group))) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < group; ++i) {
+      log.append(payload.data(), payload.size());
+    }
+    log.sync();
+    const auto t1 = std::chrono::steady_clock::now();
+    group_ns.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+    if (group_ns.size() % 256 == 0) {
+      log.note_checkpoint(++ck, log.durable_seqno());
+      log.truncate_below_checkpoint(ck);
+    }
+  }
+  std::sort(group_ns.begin(), group_ns.end());
+  state.counters["ack_p50_ns"] = percentile_ns(group_ns, 0.50);
+  state.counters["ack_p99_ns"] = percentile_ns(group_ns, 0.99);
+  state.SetItemsProcessed(state.iterations());
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_WalAppend)->Arg(1)->Arg(64);
+
+constexpr int kIngestN = 1 << 14;
+/// Commit group for the ingest comparison: large enough that the fsync
+/// amortizes below the pipeline's per-element cost (the throughput side
+/// of the group-commit trade; BM_WalAppend's ack_p99 counters show the
+/// latency side at small groups).
+constexpr std::size_t kIngestGroup = 1024;
+
+std::vector<Element<int>> ingest_script() {
+  std::vector<Tuple<int>> v;
+  v.reserve(kIngestN);
+  for (int i = 0; i < kIngestN; ++i) v.push_back({i, 0, i});
+  return timed_script(v, /*period=*/256, /*flush_to=*/kIngestN + 256);
+}
+
+/// The Table-1 FM operator both ingest variants feed — the comparison is
+/// source-durability overhead on a real pipeline, not on a bare memcpy.
+FlatMapFn<int, int> ingest_fm() {
+  return [](const int& v) { return std::vector<int>{v, v + 1}; };
+}
+
+void BM_SourceIngest_Plain(benchmark::State& state) {
+  const auto script = ingest_script();
+  for (auto _ : state) {
+    Flow flow;
+    auto& src = flow.add<ReplaySource<int>>(std::vector<Element<int>>(script),
+                                            std::size_t{0});
+    AggBasedFlatMap<int, int> op(flow, ingest_fm(), 256);
+    auto& sink = flow.add<CollectorSink<int>>();
+    flow.connect(src.out(), op.in());
+    flow.connect(op.out(), sink.in());
+    flow.run();
+    benchmark::DoNotOptimize(sink.tuples().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kIngestN));
+}
+BENCHMARK(BM_SourceIngest_Plain);
+
+/// The same script through DurableSource: encode + append + group-commit
+/// fsync ahead of every emission. Log creation stays inside the timed
+/// region (a restarting process pays the open too); only wiping the
+/// previous iteration's volumes is excluded.
+void BM_SourceIngest_Durable(benchmark::State& state) {
+  const auto script = ingest_script();
+  const fs::path dir = bench_wal_dir("ingest");
+  for (auto _ : state) {
+    state.PauseTiming();
+    fs::remove_all(dir);
+    state.ResumeTiming();
+    InputLog log(WalOptions{dir, 1 << 20, 0});
+    Flow flow;
+    auto& src = flow.add<DurableSource<int>>(std::vector<Element<int>>(script),
+                                             log, std::size_t{0},
+                                             kIngestGroup);
+    AggBasedFlatMap<int, int> op(flow, ingest_fm(), 256);
+    auto& sink = flow.add<CollectorSink<int>>();
+    flow.connect(src.out(), op.in());
+    flow.connect(op.out(), sink.in());
+    flow.run();
+    benchmark::DoNotOptimize(src.acked());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kIngestN));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_SourceIngest_Durable);
+
+/// Restart cost: reopen the log (full volume scan, CRC checks) and serve
+/// the whole stream back from WAL bytes — the replay half of
+/// restore-latest-checkpoint + replay-WAL-suffix.
+void BM_DurableRecovery(benchmark::State& state) {
+  const auto script = ingest_script();
+  const fs::path dir = bench_wal_dir("recovery");
+  {
+    InputLog log(WalOptions{dir, 1 << 20, 0});
+    for (const auto& e : script) log.append(wal_codec::encode<int>(e));
+    log.sync();
+  }
+  std::uint64_t replayed = 0;
+  for (auto _ : state) {
+    InputLog log(WalOptions{dir, 1 << 20, 0});
+    Flow flow;
+    auto& src = flow.add<DurableSource<int>>(std::vector<Element<int>>(script),
+                                             log, std::size_t{0},
+                                             std::size_t{64});
+    auto& sink = flow.add<CollectorSink<int>>();
+    flow.connect(src.out(), sink.in());
+    flow.run();
+    replayed = src.replayed();
+  }
+  benchmark::DoNotOptimize(replayed);
+  state.counters["replayed"] = static_cast<double>(replayed);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(script.size()));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_DurableRecovery);
 
 }  // namespace
 

@@ -17,7 +17,8 @@ RUNS="${RUNS:-3}"
 cmake -B "$BUILD" -S "$ROOT" -DAGGSPES_SANITIZE="$SANITIZE" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j"$(nproc)" --target chaos_test swa_chaos_test \
-      overload_test overload_chaos_test
+      overload_test overload_chaos_test \
+      input_log_test durable_source_test durable_chaos_test
 
 for i in $(seq 1 "$RUNS"); do
   echo "=== chaos sweep $i/$RUNS (sanitize=$SANITIZE) ==="
@@ -32,3 +33,18 @@ for i in $(seq 1 "$RUNS"); do
   echo "=== overload sweep $i/$RUNS (sanitize=$SANITIZE) ==="
   ctest --test-dir "$BUILD" -L overload --output-on-failure -j"$(nproc)"
 done
+
+# Durability sweep: WAL unit properties plus the volume-boundary crash
+# matrix (kill-during-append at every roll-over, mid-volume, torn write —
+# durable_chaos_test enumerates the boundaries itself from a dry run).
+# The full transcript lands in results/ so a red matrix is diagnosable
+# after the fact: which boundary, which attempt, which assertion.
+mkdir -p "$ROOT/results"
+DURABILITY_LOG="$ROOT/results/chaos_durability_${SANITIZE}.txt"
+: >"$DURABILITY_LOG"
+for i in $(seq 1 "$RUNS"); do
+  echo "=== durability sweep $i/$RUNS (sanitize=$SANITIZE) ==="
+  ctest --test-dir "$BUILD" -L durability --output-on-failure -j"$(nproc)" \
+    2>&1 | tee -a "$DURABILITY_LOG"
+done
+echo "durability sweep transcript: $DURABILITY_LOG"

@@ -137,6 +137,38 @@ jq -s '
     flow_speedup_monoid_vs_buffering:
       ((cpu($swa; "BM_FlowAggregate_Buffering") /
         cpu($swa; "BM_FlowAggregate_Monoid")) * 100 | round / 100),
+    # Durable ingestion overhead (DESIGN.md § 12): WAL append throughput
+    # and ack latency, the durable-vs-plain source ingest ratio
+    # (acceptance: DurableSource keeps >= 80% of the non-durable rate at
+    # group_commit = 64), and the recovery replay rate. Ratios use
+    # items_per_second (wall time) — fsync waits never show up as CPU.
+    wal_overhead: (
+      {
+        append: {
+          group1_items_per_s:
+            ctr($swa; "BM_WalAppend/1"; "items_per_second"),
+          group64_items_per_s:
+            ctr($swa; "BM_WalAppend/64"; "items_per_second"),
+          group1_ack_p99_ns: ctr($swa; "BM_WalAppend/1"; "ack_p99_ns"),
+          group64_ack_p99_ns: ctr($swa; "BM_WalAppend/64"; "ack_p99_ns")
+        },
+        ingest: {
+          plain_items_per_s:
+            ctr($swa; "BM_SourceIngest_Plain"; "items_per_second"),
+          durable_items_per_s:
+            ctr($swa; "BM_SourceIngest_Durable"; "items_per_second"),
+          durable_over_plain:
+            ((ctr($swa; "BM_SourceIngest_Durable"; "items_per_second") /
+              ctr($swa; "BM_SourceIngest_Plain"; "items_per_second")) * 1000
+             | round / 1000)
+        },
+        recovery_replay_items_per_s:
+          ctr($swa; "BM_DurableRecovery"; "items_per_second"),
+        accept_durable_ge_80pct:
+          (ctr($swa; "BM_SourceIngest_Durable"; "items_per_second") >=
+           0.8 * ctr($swa; "BM_SourceIngest_Plain"; "items_per_second"))
+      }
+    ),
     bench_swa: $swa,
     bench_micro_core: $micro,
     bench_swa_tails: $tails
@@ -144,4 +176,4 @@ jq -s '
 
 echo "wrote $OUT"
 jq '{speedup_vs_buffering, flow_speedup_monoid_vs_buffering, join_pane_memory,
-     worst_case_latency, ooo_tolerance}' "$OUT"
+     worst_case_latency, ooo_tolerance, wal_overhead}' "$OUT"

@@ -27,6 +27,8 @@
 
 namespace aggspes {
 
+class FaultInjector;
+
 /// Receiving side of a stream of `Element<T>`.
 template <typename T>
 class Consumer {
@@ -111,6 +113,13 @@ class NodeBase {
   /// Best-effort EndOfStream to downstream peers, used by the runtime when
   /// this node fails or aborts so the rest of the graph can drain.
   virtual void fail_downstream() {}
+
+  /// Node-side fault arming: ThreadedFlow::install_faults hands every node
+  /// the injector and its add()-order index. Channels cover the delivery
+  /// path; nodes with their own fault surface (DurableSource's WAL append
+  /// path) override this. Default: ignore.
+  virtual void arm_faults(FaultInjector* /*injector*/,
+                          std::size_t /*node_index*/) {}
 
   /// Binds this node to a checkpoint recorder under a stable index
   /// (ThreadedFlow add() order, reproducible across rebuilds).

@@ -50,12 +50,26 @@ class CheckpointStore final : public CheckpointRecorder {
   void record(std::size_t node_index, std::uint64_t checkpoint_id,
               Bytes state) override {
     std::lock_guard<std::mutex> lk(mu_);
+    // GC guard: a record for an id strictly below the completion frontier
+    // is stale — a restarted node replaying an old barrier id must not
+    // resurrect a pruned checkpoint (it could never become the restore
+    // candidate, but it would leak and, worse, a *partially* resurrected
+    // id could later look complete with mixed-epoch records).
+    if (latest_complete_ && checkpoint_id < *latest_complete_) {
+      ++stale_dropped_;
+      return;
+    }
     auto& per_node = records_[checkpoint_id];
     per_node[node_index] = std::move(state);
     ++records_taken_;
     if (expected_ != 0 && per_node.size() == expected_ &&
         (!latest_complete_ || checkpoint_id > *latest_complete_)) {
       latest_complete_ = checkpoint_id;
+      // GC: ids superseded by the new frontier can never be restored
+      // (restore_latest only ever reads the latest complete id); prune
+      // them so the store's footprint is bounded by the in-flight window,
+      // not by run length.
+      records_.erase(records_.begin(), records_.find(checkpoint_id));
     }
   }
 
@@ -82,11 +96,29 @@ class CheckpointStore final : public CheckpointRecorder {
     return records_taken_;
   }
 
+  /// Records refused because their id was below the completion frontier
+  /// (the GC guard in record()).
+  std::uint64_t stale_dropped() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stale_dropped_;
+  }
+
+  /// Checkpoint ids currently held (complete or in flight), ascending.
+  /// After GC the lowest held id is always >= latest_complete().
+  std::vector<std::uint64_t> ids_held() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::uint64_t> ids;
+    ids.reserve(records_.size());
+    for (const auto& [id, per_node] : records_) ids.push_back(id);
+    return ids;
+  }
+
   void clear() {
     std::lock_guard<std::mutex> lk(mu_);
     records_.clear();
     latest_complete_.reset();
     records_taken_ = 0;
+    stale_dropped_ = 0;
   }
 
  private:
@@ -95,6 +127,7 @@ class CheckpointStore final : public CheckpointRecorder {
   std::map<std::uint64_t, std::unordered_map<std::size_t, Bytes>> records_;
   std::optional<std::uint64_t> latest_complete_;
   std::uint64_t records_taken_{0};
+  std::uint64_t stale_dropped_{0};
 };
 
 }  // namespace aggspes

@@ -65,6 +65,20 @@ enum class FaultKind : std::uint8_t {
   //                   high-water spike without per-delivery pacing.
   kSlowConsumer,
   kSaturate,
+  // Durability faults (source-side, not channel-side). Appended after
+  // kSaturate for the same seed-stability reason — the `rng() % 5` draws
+  // of seed-derived schedules are untouched; these fire only via explicit
+  // add_event (the chaos harness's crash-matrix enumeration). For both,
+  // `edge` names the *node index* of the durable source (ThreadedFlow add
+  // order) and `at_delivery` its Nth WAL append in the current attempt.
+  //  * KillDuringAppend — the process dies mid-append: every record since
+  //                       the last group-commit fsync is lost (page cache
+  //                       never hit the platter), then CrashInjected.
+  //  * TornWrite        — same, but a half-written frame is left at the
+  //                       volume tail; the reopened log must detect it by
+  //                       CRC and truncate.
+  kKillDuringAppend,
+  kTornWrite,
 };
 
 inline const char* fault_kind_name(FaultKind k) {
@@ -76,6 +90,8 @@ inline const char* fault_kind_name(FaultKind k) {
     case FaultKind::kDupCrash: return "dup+crash";
     case FaultKind::kSlowConsumer: return "slow-consumer";
     case FaultKind::kSaturate: return "saturate";
+    case FaultKind::kKillDuringAppend: return "kill-during-append";
+    case FaultKind::kTornWrite: return "torn-write";
   }
   return "?";
 }
@@ -170,6 +186,10 @@ class FaultInjector {
                                 std::uint64_t delivery) const {
     for (const FaultEvent& e : events_) {
       if (e.attempt != attempt_ || e.edge != edge) continue;
+      if (e.kind == FaultKind::kKillDuringAppend ||
+          e.kind == FaultKind::kTornWrite) {
+        continue;  // append-path kinds: `edge` is a node index (on_append)
+      }
       if (e.kind == FaultKind::kSlowConsumer) {
         // The only ranged kind: slows a whole run of deliveries.
         if (delivery >= e.at_delivery &&
@@ -177,6 +197,25 @@ class FaultInjector {
           return &e;
         }
       } else if (e.at_delivery == delivery) {
+        return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Durability fault scheduled for source node `node_index` at its
+  /// `append_no`-th WAL append (1-based) in the current attempt, if any.
+  /// Only the append kinds match here — channel kinds never fire in the
+  /// source's append path, and vice versa (on_delivery skips them because
+  /// append events carry node indices in `edge`, which cannot collide:
+  /// a DurableSource has no input channels).
+  const FaultEvent* on_append(std::size_t node_index,
+                              std::uint64_t append_no) const {
+    for (const FaultEvent& e : events_) {
+      if (e.attempt != attempt_ || e.edge != node_index) continue;
+      if ((e.kind == FaultKind::kKillDuringAppend ||
+           e.kind == FaultKind::kTornWrite) &&
+          e.at_delivery == append_no) {
         return &e;
       }
     }

@@ -1,0 +1,588 @@
+// Durable ingestion: a crash-safe write-ahead input log (the ROADMAP's
+// missing durability axis). Records are framed with CRC32 and a per-record
+// sequence number and written into rotating fixed-size *volumes* — the
+// Akumuli input_log idiom:
+//
+//   * Roll-over is crash-safe: the successor volume is created, its header
+//     written and fsynced (file + directory entry) *before* the old volume
+//     is sealed, so a crash between the two leaves either a sealed chain or
+//     a sealed chain plus an empty successor — never a gap.
+//   * Torn tails are detected by CRC on open and truncated: the first
+//     frame whose CRC (or length, or sequence continuity) fails marks the
+//     end of the durable prefix; everything from there on — including any
+//     later volumes, which can only hold post-crash garbage — is cut.
+//   * Group commit: append() buffers in the OS page cache and fsyncs every
+//     `group_commit_records` appends (or on explicit sync()). Only synced
+//     records count as durable — durable_seqno() is the ack frontier a
+//     DurableSource may emit (and upstream may discard) up to.
+//
+// Retention is wired to the checkpoint frontier, not to time or size: the
+// source calls note_checkpoint(id, seqno) when it commits a cut, and the
+// supervisor calls truncate_below_checkpoint(latest_complete_id) after
+// each attempt — volumes *wholly* below the frontier are deleted; the
+// active volume never is. Replay after restore-from-checkpoint only needs
+// seqnos past the committed cursor, which retention provably preserves.
+//
+// Crash simulation: chaos tests run in-process, so "the process died" is
+// modelled by crash_drop_unsynced() / crash_tear_unsynced() — they put the
+// files into the exact post-crash disk state (unsynced page-cache bytes
+// lost; a torn frame left at the tail) and close the log. The next
+// ensure_open() re-runs the full open-scan, exercising the real torn-tail
+// recovery path rather than a shortcut.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace aggspes {
+
+/// Thrown on unrecoverable WAL I/O failures (open/write/fsync errors —
+/// *not* torn tails, which are recovered, not thrown).
+class WalError : public std::runtime_error {
+ public:
+  explicit WalError(const std::string& what)
+      : std::runtime_error("wal: " + what) {}
+};
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — the framing checksum.
+/// Table-driven; no external dependency.
+inline std::uint32_t crc32_ieee(const void* data, std::size_t n,
+                                std::uint32_t crc = 0) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = ~crc;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+struct WalOptions {
+  std::filesystem::path dir;       ///< volume directory (created if absent)
+  std::size_t volume_bytes{64 * 1024};  ///< roll-over threshold per volume
+  /// fsync every N appends (group commit). 0 = manual: only sync() makes
+  /// records durable — what DurableSource uses, since it must know the
+  /// exact flush points to batch its emissions behind them.
+  std::size_t group_commit_records{32};
+};
+
+/// Counters for tests and the wal_overhead bench section.
+struct WalStats {
+  std::uint64_t records_appended{0};
+  std::uint64_t records_recovered{0};  ///< valid frames found by open-scan
+  std::uint64_t syncs{0};              ///< fsync calls on record data
+  std::uint64_t volumes_created{0};
+  std::uint64_t volumes_deleted{0};    ///< by retention
+  std::uint64_t torn_truncations{0};   ///< torn/corrupt tails cut on open
+};
+
+class InputLog {
+ public:
+  using Bytes = std::vector<std::uint8_t>;
+  using ReplayFn = std::function<void(std::uint64_t seqno, const Bytes&)>;
+
+  /// Volume header: [magic u32][version u32][first_seqno u64].
+  static constexpr std::uint32_t kMagic = 0x41475741u;  // "AWGA"
+  static constexpr std::uint32_t kVolumeVersion = 1;
+  static constexpr std::size_t kHeaderSize = 16;
+  /// Frame: [crc u32][len u32][seqno u64][payload len bytes]; the CRC
+  /// covers seqno + payload, so a zeroed or half-written header fails too.
+  static constexpr std::size_t kFrameOverhead = 16;
+  /// Length sanity bound — a torn length field must not trigger a huge
+  /// allocation before the CRC gets a chance to reject the frame.
+  static constexpr std::uint32_t kMaxPayload = 1u << 24;
+
+  explicit InputLog(WalOptions opts) : opts_(std::move(opts)) {
+    if (opts_.dir.empty()) throw WalError("empty volume directory");
+    std::filesystem::create_directories(opts_.dir);
+    open_scan();
+  }
+
+  ~InputLog() { close_fds(); }
+
+  InputLog(const InputLog&) = delete;
+  InputLog& operator=(const InputLog&) = delete;
+
+  const WalOptions& options() const { return opts_; }
+  const std::filesystem::path& dir() const { return opts_.dir; }
+
+  /// Re-runs the open-scan if the log was closed by a crash hook. The
+  /// normal recovery entry point: a rebuilt source calls this before its
+  /// first replay/append.
+  void ensure_open() {
+    if (!closed_) return;
+    open_scan();
+  }
+
+  /// Appends one record; returns its 1-based sequence number. The record
+  /// is *not* durable (acked) until the group-commit fsync covers it.
+  /// Frames accumulate in a user-space buffer and reach the file in one
+  /// write() per group commit — the batching half of group commit; the
+  /// fsync is the other. An unsynced record therefore never costs a
+  /// syscall, and losing the buffer in a crash loses nothing that was
+  /// acked.
+  std::uint64_t append(const void* data, std::size_t n) {
+    ensure_open();
+    if (n > kMaxPayload) throw WalError("payload exceeds kMaxPayload");
+    const std::size_t frame = kFrameOverhead + n;
+    if (active().size_bytes + frame > std::max(opts_.volume_bytes,
+                                               kHeaderSize + frame) &&
+        active().last_seqno >= active().first_seqno) {
+      rotate();
+    }
+    const std::uint64_t seqno = next_seqno_++;
+    const std::size_t base = wbuf_.size();
+    wbuf_.resize(base + frame);
+    std::uint8_t* buf = wbuf_.data() + base;
+    std::memcpy(buf + 8, &seqno, 8);
+    if (n > 0) std::memcpy(buf + kFrameOverhead, data, n);
+    const std::uint32_t crc = crc32_ieee(buf + 8, 8 + n);
+    const auto len = static_cast<std::uint32_t>(n);
+    std::memcpy(buf, &crc, 4);
+    std::memcpy(buf + 4, &len, 4);
+    active().size_bytes += frame;
+    active().last_seqno = seqno;
+    ++stats_.records_appended;
+    ++pending_;
+    if (opts_.group_commit_records > 0 &&
+        pending_ >= opts_.group_commit_records) {
+      sync();
+    }
+    return seqno;
+  }
+
+  std::uint64_t append(const Bytes& b) { return append(b.data(), b.size()); }
+
+  /// Forces the group commit: fsyncs the active volume and advances the
+  /// durable (ack) frontier over everything appended so far.
+  void sync() {
+    ensure_open();
+    if (pending_ == 0) return;
+    flush_buffer();
+    fsync_or_throw(fd_, active().path);
+    synced_offset_ = active().size_bytes;
+    durable_seqno_ = next_seqno_ - 1;
+    pending_ = 0;
+    ++stats_.syncs;
+  }
+
+  /// Next sequence number append() will assign.
+  std::uint64_t next_seqno() const { return next_seqno_; }
+  /// Highest *durable* (fsynced) sequence number; 0 when none. This is the
+  /// ack frontier: only records up to here may be emitted downstream or
+  /// discarded upstream.
+  std::uint64_t durable_seqno() const { return durable_seqno_; }
+  /// Appended-but-not-yet-synced record count (the group-commit window).
+  std::size_t unsynced_records() const { return pending_; }
+
+  /// Streams every durable record with seqno >= from_seqno, in order.
+  /// Unsynced appends are excluded — they were never acked, so replaying
+  /// them would invent deliveries a real crash would have lost.
+  void replay(std::uint64_t from_seqno, const ReplayFn& fn) {
+    ensure_open();
+    for (const Volume& v : volumes_) {
+      if (v.last_seqno < v.first_seqno || v.last_seqno < from_seqno) continue;
+      if (v.first_seqno > durable_seqno_) break;
+      scan_volume(v.path, v.first_seqno,
+                  [&](std::uint64_t seqno, const Bytes& payload) {
+                    if (seqno >= from_seqno && seqno <= durable_seqno_) {
+                      fn(seqno, payload);
+                    }
+                    return seqno < durable_seqno_;
+                  });
+    }
+  }
+
+  /// Registers the cut a checkpoint committed: checkpoint `id` covers
+  /// sequence numbers [1, seqno]. Called by the source at barrier time;
+  /// read by the supervisor's retention pass. Idempotent (replayed
+  /// attempts re-note the same cut).
+  void note_checkpoint(std::uint64_t id, std::uint64_t seqno) {
+    std::lock_guard<std::mutex> lk(ckpt_mu_);
+    ckpt_seqno_[id] = seqno;
+  }
+
+  /// Retention: deletes volumes wholly older than checkpoint `id`'s
+  /// committed cut (every record seqno <= the noted frontier). The active
+  /// volume is never deleted. Returns the number of volumes removed.
+  /// Unknown ids (noted before a crash wiped nothing — the map survives
+  /// in-process; or never noted at all) truncate nothing.
+  std::size_t truncate_below_checkpoint(std::uint64_t id) {
+    std::uint64_t frontier = 0;
+    {
+      std::lock_guard<std::mutex> lk(ckpt_mu_);
+      auto it = ckpt_seqno_.find(id);
+      if (it == ckpt_seqno_.end()) return 0;
+      frontier = it->second;
+    }
+    return truncate_below(frontier + 1);
+  }
+
+  /// Deletes volumes whose every record has seqno < min_keep_seqno.
+  std::size_t truncate_below(std::uint64_t min_keep_seqno) {
+    ensure_open();
+    std::size_t deleted = 0;
+    while (volumes_.size() > 1) {
+      const Volume& v = volumes_.front();
+      if (v.last_seqno < v.first_seqno || v.last_seqno >= min_keep_seqno) {
+        break;
+      }
+      std::error_code ec;
+      std::filesystem::remove(v.path, ec);
+      if (ec) throw WalError("remove " + v.path.string() + ": " + ec.message());
+      volumes_.erase(volumes_.begin());
+      ++deleted;
+      ++stats_.volumes_deleted;
+    }
+    if (deleted > 0) fsync_dir();
+    return deleted;
+  }
+
+  /// --- crash simulation hooks (chaos tests / fault injector) ---
+
+  /// Models a kill during append: everything after the last fsync is lost
+  /// (page cache never reached the platter). The log closes; the next
+  /// ensure_open() re-scans as a restarted process would.
+  void crash_drop_unsynced() {
+    if (closed_) return;
+    wbuf_.clear();  // never written: the page cache analogue evaporates
+    truncate_file(active().path, synced_offset_);
+    close_fds();
+  }
+
+  /// Models a torn write: the unsynced suffix is lost *and* a half-written
+  /// frame (valid-looking length, impossible CRC) lands at the tail — the
+  /// open-scan must detect and truncate it.
+  void crash_tear_unsynced() {
+    if (closed_) return;
+    wbuf_.clear();
+    truncate_file(active().path, synced_offset_);
+    close_fds();
+    const int fd = ::open(volumes_.back().path.c_str(), O_WRONLY | O_APPEND);
+    if (fd < 0) throw WalError("tear-open " + volumes_.back().path.string());
+    // 12 bytes of a 16+ byte frame: CRC + length promising a payload that
+    // is not there, plus half a seqno.
+    std::array<std::uint8_t, 12> torn{0xDE, 0xAD, 0xBE, 0xEF, 0x20, 0x00,
+                                      0x00, 0x00, 0x55, 0x55, 0x55, 0x55};
+    write_all(fd, torn.data(), torn.size());
+    fsync_or_throw(fd, volumes_.back().path);
+    ::close(fd);
+  }
+
+  /// --- diagnostics ---
+
+  const WalStats& stats() const { return stats_; }
+  std::size_t volume_count() const { return volumes_.size(); }
+
+  /// First sequence number of each live volume, in chain order — what the
+  /// crash matrix enumerates to aim a kill at every volume boundary.
+  std::vector<std::uint64_t> volume_first_seqnos() const {
+    std::vector<std::uint64_t> v;
+    v.reserve(volumes_.size());
+    for (const Volume& vol : volumes_) v.push_back(vol.first_seqno);
+    return v;
+  }
+
+ private:
+  struct Volume {
+    std::uint64_t id{0};
+    std::filesystem::path path;
+    std::uint64_t first_seqno{1};
+    std::uint64_t last_seqno{0};  ///< < first_seqno when empty
+    std::size_t size_bytes{0};
+  };
+
+  Volume& active() { return volumes_.back(); }
+
+  static void write_all(int fd, const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    while (n > 0) {
+      const ::ssize_t w = ::write(fd, p, n);
+      if (w < 0) throw WalError("write failed");
+      p += w;
+      n -= static_cast<std::size_t>(w);
+    }
+  }
+
+  static void fsync_or_throw(int fd, const std::filesystem::path& p) {
+    if (::fsync(fd) != 0) throw WalError("fsync " + p.string());
+  }
+
+  static void truncate_file(const std::filesystem::path& p, std::size_t len) {
+    if (::truncate(p.c_str(), static_cast<::off_t>(len)) != 0) {
+      throw WalError("truncate " + p.string());
+    }
+  }
+
+  void fsync_dir() {
+    const int dfd = ::open(opts_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0) return;  // best effort: not all filesystems support it
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+
+  void close_fds() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    closed_ = true;
+  }
+
+  std::filesystem::path volume_path(std::uint64_t id) const {
+    char name[32];
+    std::snprintf(name, sizeof(name), "wal-%08llu.log",
+                  static_cast<unsigned long long>(id));
+    return opts_.dir / name;
+  }
+
+  /// Writes the buffered frames to the active volume in one syscall.
+  /// Advances nothing: only the fsync in sync()/rotate() makes them
+  /// durable.
+  void flush_buffer() {
+    if (wbuf_.empty()) return;
+    write_all(fd_, wbuf_.data(), wbuf_.size());
+    wbuf_.clear();
+  }
+
+  /// Crash-safe roll-over: successor first, seal second.
+  void rotate() {
+    flush_buffer();  // buffered frames belong to the volume being sealed
+    const std::uint64_t id = active().id + 1;
+    Volume next;
+    next.id = id;
+    next.path = volume_path(id);
+    next.first_seqno = next_seqno_;
+    next.size_bytes = kHeaderSize;
+    next.last_seqno = next_seqno_ - 1;  // empty
+    const int nfd = ::open(next.path.c_str(), O_CREAT | O_WRONLY | O_TRUNC,
+                           0644);
+    if (nfd < 0) throw WalError("create " + next.path.string());
+    std::array<std::uint8_t, kHeaderSize> hdr{};
+    std::memcpy(hdr.data(), &kMagic, 4);
+    std::memcpy(hdr.data() + 4, &kVolumeVersion, 4);
+    std::memcpy(hdr.data() + 8, &next.first_seqno, 8);
+    write_all(nfd, hdr.data(), hdr.size());
+    fsync_or_throw(nfd, next.path);
+    fsync_dir();
+    // Seal the old volume only now: its fsync makes every record appended
+    // so far durable, so the ack frontier advances with the roll-over.
+    fsync_or_throw(fd_, active().path);
+    ::close(fd_);
+    durable_seqno_ = next_seqno_ - 1;
+    pending_ = 0;
+    fd_ = nfd;
+    volumes_.push_back(next);
+    synced_offset_ = kHeaderSize;
+    ++stats_.volumes_created;
+  }
+
+  /// Scans one volume's frames from its header end, calling
+  /// `fn(seqno, payload)` for each valid frame (stop when fn returns
+  /// false). Returns the byte offset of the first invalid frame (== file
+  /// size when the volume is fully valid).
+  std::size_t scan_volume(
+      const std::filesystem::path& path, std::uint64_t expect_first,
+      const std::function<bool(std::uint64_t, const Bytes&)>& fn) const {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw WalError("open " + path.string());
+    struct ::stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw WalError("stat " + path.string());
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    Bytes file(size);
+    std::size_t got = 0;
+    while (got < size) {
+      const ::ssize_t r = ::read(fd, file.data() + got, size - got);
+      if (r <= 0) {
+        ::close(fd);
+        throw WalError("read " + path.string());
+      }
+      got += static_cast<std::size_t>(r);
+    }
+    ::close(fd);
+    std::size_t off = kHeaderSize;
+    std::uint64_t expect = expect_first;
+    while (off + kFrameOverhead <= size) {
+      std::uint32_t crc = 0;
+      std::uint32_t len = 0;
+      std::uint64_t seqno = 0;
+      std::memcpy(&crc, file.data() + off, 4);
+      std::memcpy(&len, file.data() + off + 4, 4);
+      std::memcpy(&seqno, file.data() + off + 8, 8);
+      if (len > kMaxPayload || off + kFrameOverhead + len > size) break;
+      if (crc32_ieee(file.data() + off + 8, 8 + len) != crc) break;
+      if (seqno != expect) break;
+      Bytes payload(file.begin() +
+                        static_cast<std::ptrdiff_t>(off + kFrameOverhead),
+                    file.begin() +
+                        static_cast<std::ptrdiff_t>(off + kFrameOverhead +
+                                                    len));
+      const bool more = fn(seqno, payload);
+      off += kFrameOverhead + len;
+      ++expect;
+      if (!more) break;
+    }
+    return off;
+  }
+
+  /// Builds the in-memory chain from the directory: validates headers,
+  /// scans frames, truncates the first torn tail, drops everything after
+  /// it, and opens the last survivor for append.
+  void open_scan() {
+    volumes_.clear();
+    next_seqno_ = 1;
+    durable_seqno_ = 0;
+    pending_ = 0;
+
+    std::map<std::uint64_t, std::filesystem::path> found;
+    for (const auto& e : std::filesystem::directory_iterator(opts_.dir)) {
+      const std::string name = e.path().filename().string();
+      if (name.rfind("wal-", 0) != 0 || e.path().extension() != ".log") {
+        continue;
+      }
+      found[std::strtoull(name.c_str() + 4, nullptr, 10)] = e.path();
+    }
+
+    bool torn = false;
+    for (auto it = found.begin(); it != found.end(); ++it) {
+      if (torn) {
+        // Nothing after a torn tail can be durable data this log wrote
+        // before the crash; a leftover successor is post-crash garbage.
+        std::error_code ec;
+        std::filesystem::remove(it->second, ec);
+        continue;
+      }
+      Volume v;
+      v.id = it->first;
+      v.path = it->second;
+      std::array<std::uint8_t, kHeaderSize> hdr{};
+      bool hdr_ok = false;
+      {
+        const int fd = ::open(v.path.c_str(), O_RDONLY);
+        if (fd >= 0) {
+          hdr_ok = ::read(fd, hdr.data(), hdr.size()) ==
+                   static_cast<::ssize_t>(hdr.size());
+          ::close(fd);
+        }
+      }
+      std::uint32_t magic = 0;
+      std::uint32_t version = 0;
+      std::uint64_t first = 0;
+      if (hdr_ok) {
+        std::memcpy(&magic, hdr.data(), 4);
+        std::memcpy(&version, hdr.data() + 4, 4);
+        std::memcpy(&first, hdr.data() + 8, 8);
+      }
+      const std::uint64_t expect_first =
+          volumes_.empty() ? 0 : next_seqno_;  // 0: first volume sets it
+      if (!hdr_ok || magic != kMagic || version != kVolumeVersion ||
+          (expect_first != 0 && first != expect_first)) {
+        // Torn volume creation (crash between create and first append of
+        // the successor never happens — creation fsyncs the header — but a
+        // torn *header* from a dying disk does): drop it and stop.
+        std::error_code ec;
+        std::filesystem::remove(v.path, ec);
+        ++stats_.torn_truncations;
+        torn = true;
+        continue;
+      }
+      v.first_seqno = first;
+      v.last_seqno = first - 1;
+      const std::size_t valid_end = scan_volume(
+          v.path, v.first_seqno, [&](std::uint64_t seqno, const Bytes&) {
+            v.last_seqno = seqno;
+            ++stats_.records_recovered;
+            return true;
+          });
+      std::error_code sec;
+      const auto fsize =
+          static_cast<std::size_t>(std::filesystem::file_size(v.path, sec));
+      if (!sec && valid_end < fsize) {
+        truncate_file(v.path, valid_end);
+        ++stats_.torn_truncations;
+        torn = true;
+      }
+      v.size_bytes = valid_end;
+      next_seqno_ = v.last_seqno >= v.first_seqno ? v.last_seqno + 1
+                                                  : v.first_seqno;
+      volumes_.push_back(std::move(v));
+    }
+
+    if (volumes_.empty()) {
+      Volume v;
+      v.id = 1;
+      v.path = volume_path(1);
+      v.first_seqno = next_seqno_;
+      v.last_seqno = next_seqno_ - 1;
+      v.size_bytes = kHeaderSize;
+      const int fd = ::open(v.path.c_str(), O_CREAT | O_WRONLY | O_TRUNC,
+                            0644);
+      if (fd < 0) throw WalError("create " + v.path.string());
+      std::array<std::uint8_t, kHeaderSize> hdr{};
+      std::memcpy(hdr.data(), &kMagic, 4);
+      std::memcpy(hdr.data() + 4, &kVolumeVersion, 4);
+      std::memcpy(hdr.data() + 8, &v.first_seqno, 8);
+      write_all(fd, hdr.data(), hdr.size());
+      fsync_or_throw(fd, v.path);
+      fsync_dir();
+      fd_ = fd;
+      volumes_.push_back(std::move(v));
+      ++stats_.volumes_created;
+    } else {
+      fd_ = ::open(volumes_.back().path.c_str(), O_WRONLY | O_APPEND);
+      if (fd_ < 0) {
+        throw WalError("reopen " + volumes_.back().path.string());
+      }
+    }
+    // Everything that survived the scan is on disk and consistent — the
+    // durable prefix a restarted source may replay.
+    durable_seqno_ = next_seqno_ - 1;
+    synced_offset_ = volumes_.back().size_bytes;
+    wbuf_.clear();
+    pending_ = 0;
+    closed_ = false;
+  }
+
+  WalOptions opts_;
+  std::vector<Volume> volumes_;
+  int fd_{-1};
+  bool closed_{true};
+  std::uint64_t next_seqno_{1};
+  std::uint64_t durable_seqno_{0};
+  std::size_t pending_{0};
+  std::size_t synced_offset_{0};
+  Bytes wbuf_;  ///< frames appended since the last write-out (group batch)
+  WalStats stats_;
+  std::mutex ckpt_mu_;
+  std::map<std::uint64_t, std::uint64_t> ckpt_seqno_;
+};
+
+}  // namespace aggspes

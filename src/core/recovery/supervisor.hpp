@@ -33,6 +33,7 @@
 
 #include "core/recovery/checkpoint_store.hpp"
 #include "core/recovery/fault_injection.hpp"
+#include "core/recovery/input_log.hpp"
 #include "core/runtime/overload.hpp"
 #include "core/runtime/threaded_runtime.hpp"
 
@@ -53,6 +54,13 @@ struct RecoveryOptions {
   double jitter{0.0};
   std::uint64_t jitter_seed{42};
   ThreadedFlow::RunOptions run;
+  /// Durable-ingestion retention: input logs whose volumes the supervisor
+  /// truncates against the checkpoint frontier after every attempt —
+  /// volumes wholly older than the last *complete* checkpoint's committed
+  /// cut (the source noted id → seqno at barrier time) are deleted. The
+  /// logs must outlive run_with_recovery; they are the state that survives
+  /// the rebuilds.
+  std::vector<InputLog*> retain_wals;
 };
 
 /// One line of the restart timeline.
@@ -122,6 +130,17 @@ RecoveryReport run_with_recovery(BuildFn&& build, CheckpointStore& store,
                                  RecoveryOptions opts = {},
                                  RecoveryReport* progress = nullptr) {
   RecoveryReport report;
+  // Retention pass: with the flow quiescent between attempts, delete WAL
+  // volumes wholly below the last complete checkpoint's committed cut.
+  // Replay after restore only needs seqnos past that cut, so this is safe
+  // at any frontier value; at-frontier and newer volumes always survive.
+  const auto retain = [&] {
+    const std::optional<std::uint64_t> frontier = store.latest_complete();
+    if (!frontier) return;
+    for (InputLog* log : opts.retain_wals) {
+      if (log != nullptr) log->truncate_below_checkpoint(*frontier);
+    }
+  };
   for (int attempt = 0;; ++attempt) {
     RecoveryAttempt line;
     line.attempt = attempt;
@@ -141,6 +160,7 @@ RecoveryReport run_with_recovery(BuildFn&& build, CheckpointStore& store,
     const auto started = std::chrono::steady_clock::now();
     try {
       flow->run(opts.run);
+      retain();
       line.succeeded = true;
       line.elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - started);
@@ -157,6 +177,7 @@ RecoveryReport run_with_recovery(BuildFn&& build, CheckpointStore& store,
       }
       return report;
     } catch (const FlowError& e) {
+      retain();
       line.elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - started);
       line.failure = e.what();

@@ -196,6 +196,11 @@ class ThreadedFlow {
     for (const auto& ch : channels_) edges.push_back({ch->loop_edge()});
     injector.materialize(edges);
     for (auto& ch : channels_) ch->set_faults(&injector);
+    // Node-side faults (durable-source append kinds) ride the same
+    // injector; nodes without a fault surface inherit the no-op default.
+    for (std::size_t i = 0; i < runners_.size(); ++i) {
+      runners_[i]->node->arm_faults(&injector, i);
+    }
   }
 
   /// Attaches an overload monitor: the watchdog thread samples every
@@ -530,6 +535,11 @@ class ThreadedFlow {
               std::this_thread::yield();
             }
           }
+          return;
+        case FaultKind::kKillDuringAppend:
+        case FaultKind::kTornWrite:
+          // Source-side kinds: on_delivery filters them out (their `edge`
+          // field is a node index), so they never reach a channel.
           return;
       }
     }

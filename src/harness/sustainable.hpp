@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -95,6 +96,21 @@ inline const std::vector<WindowBackend>& all_backends() {
   return v;
 }
 
+/// Durable-ingestion knobs (DESIGN.md § 12): when enabled, every source
+/// of the run write-ahead-logs its admitted tuples (append → group-commit
+/// → emit) through an InputLog, and RunResult reports the WAL counters.
+/// The wal_overhead bench section compares enabled-vs-disabled throughput
+/// (accept: durable >= 0.8x plain).
+struct DurabilityConfig {
+  bool enabled{false};
+  /// Volume directory; empty picks a fresh run-scoped directory under the
+  /// system temp dir (removed after the run).
+  std::string wal_dir;
+  std::size_t volume_bytes{256 * 1024};
+  /// Appends per fsync (group commit); 1 syncs every tuple.
+  std::size_t group_commit{64};
+};
+
 struct RunConfig {
   double rate{10000};        ///< total injection rate, tuples/second
   double duration_s{0.8};    ///< generation duration
@@ -113,6 +129,7 @@ struct RunConfig {
   /// attaches neither — the run is bit-for-bit the pre-overload harness.
   ShedConfig shed{};
   OverloadThresholds overload{};
+  DurabilityConfig durability{};
 };
 
 /// How many of the heaviest-shed keys a run reports.
@@ -147,6 +164,12 @@ struct RunResult {
   /// the cutoff fired at.
   std::uint64_t cutoff_fired{0};
   double cutoff_at_s{0};
+  /// Durable-ingestion counters (all zero when durability is disabled):
+  /// records appended across the run's sources, group-commit fsyncs, and
+  /// WAL volumes created.
+  std::uint64_t wal_records{0};
+  std::uint64_t wal_syncs{0};
+  std::uint64_t wal_volumes{0};
 };
 
 /// A pipeline runner at a given injection rate (implementation and
@@ -206,6 +229,48 @@ RateSourceConfig source_config(const RunConfig& cfg, double rate,
                           .flush_horizon = flush_horizon};
 }
 
+/// Run-scoped WAL behind the RunConfig durability knobs: a fresh volume
+/// directory per run (stale volumes from a previous run must not leak into
+/// this one's counters), torn down afterwards when it lives in the system
+/// temp dir. With an explicit wal_dir the volumes are left for inspection.
+class ScopedWal {
+ public:
+  ScopedWal(const DurabilityConfig& d, const std::string& tag) {
+    static std::atomic<std::uint64_t> counter{0};
+    owns_dir_ = d.wal_dir.empty();
+    const std::filesystem::path dir =
+        owns_dir_ ? std::filesystem::temp_directory_path() /
+                        ("aggspes_wal_" + tag + "_" +
+                         std::to_string(counter.fetch_add(1)))
+                  : std::filesystem::path(d.wal_dir) / tag;
+    std::filesystem::remove_all(dir);
+    log_.emplace(WalOptions{dir, d.volume_bytes, d.group_commit});
+  }
+
+  ~ScopedWal() {
+    if (!log_) return;
+    const std::filesystem::path dir = log_->dir();
+    log_.reset();
+    if (owns_dir_) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+
+  InputLog& log() { return *log_; }
+
+  void collect(RunResult& r) {
+    const WalStats& s = log_->stats();
+    r.wal_records += s.records_appended;
+    r.wal_syncs += s.syncs;
+    r.wal_volumes += s.volumes_created;
+  }
+
+ private:
+  std::optional<InputLog> log_;
+  bool owns_dir_{false};
+};
+
 /// Shared post-run bookkeeping: metrics over the measure window.
 /// `emit_s` is the wall time of the generation loop (backpressure makes it
 /// exceed the configured duration on unsustainable rates).
@@ -260,6 +325,13 @@ RunResult run_fm_t(Impl impl, const RunConfig& cfg,
     shedder.emplace(cfg.shed, &monitor);
     src.set_shedder(&*shedder);
     flow.attach_overload(&monitor);
+  }
+  // Durable ingestion: the source write-ahead-logs every admitted tuple
+  // (ack-before-emit); the WAL outlives the flow, like monitor/shedder.
+  std::optional<detail::ScopedWal> wal;
+  if (cfg.durability.enabled) {
+    wal.emplace(cfg.durability, "fm");
+    src.set_durable(&wal->log());
   }
   // Reads occupancy peaks off the flow-owned windowed operator after the
   // run (empty for stateless pipelines).
@@ -318,6 +390,7 @@ RunResult run_fm_t(Impl impl, const RunConfig& cfg,
   }
   r.cutoff_fired = src.cutoff_fired();
   r.cutoff_at_s = src.cutoff_at_s();
+  if (wal) wal->collect(r);
   if (collect) collect(r);
   return r;
 }
@@ -387,6 +460,16 @@ RunResult run_join_t(Impl impl, const RunConfig& cfg,
     src_l.set_shedder(&*shed_l);
     src_r.set_shedder(&*shed_r);
     flow.attach_overload(&monitor);
+  }
+  // Durable ingestion: one WAL per source (each source thread appends to
+  // its own log — the InputLog is single-writer by design).
+  std::optional<detail::ScopedWal> wal_l;
+  std::optional<detail::ScopedWal> wal_r;
+  if (cfg.durability.enabled) {
+    wal_l.emplace(cfg.durability, "join_l");
+    wal_r.emplace(cfg.durability, "join_r");
+    src_l.set_durable(&wal_l->log());
+    src_r.set_durable(&wal_r->log());
   }
   std::function<void(RunResult&)> collect;
 
@@ -461,6 +544,8 @@ RunResult run_join_t(Impl impl, const RunConfig& cfg,
   }
   r.cutoff_fired = src_l.cutoff_fired() + src_r.cutoff_fired();
   r.cutoff_at_s = std::max(src_l.cutoff_at_s(), src_r.cutoff_at_s());
+  if (wal_l) wal_l->collect(r);
+  if (wal_r) wal_r->collect(r);
   if (collect) collect(r);
   return r;
 }

@@ -1,0 +1,269 @@
+// Durable-ingestion chaos matrix (ctest labels: durability, chaos — via
+// the combined `durability-chaos` label): a DurableSource-fed AggBased FM
+// pipeline is crashed by kKillDuringAppend at *every* WAL volume boundary
+// (the crash-safe roll-over window), at a mid-volume append, and by a
+// kTornWrite that leaves a half frame at the tail. Each restart must
+// produce output multiset-identical to a fault-free single-threaded
+// reference, and the supervisor's retention pass must provably truncate
+// volumes wholly older than the checkpoint frontier without perturbing
+// replay past the cut.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aggbased/flatmap.hpp"
+#include "core/operators/sink.hpp"
+#include "core/operators/source.hpp"
+#include "core/recovery/durable_source.hpp"
+#include "core/recovery/supervisor.hpp"
+
+namespace aggspes {
+namespace {
+
+struct Ev {
+  int key;
+  int val;
+  friend bool operator==(const Ev&, const Ev&) = default;
+  friend auto operator<=>(const Ev&, const Ev&) = default;
+};
+
+}  // namespace
+}  // namespace aggspes
+
+template <>
+struct std::hash<aggspes::Ev> {
+  size_t operator()(const aggspes::Ev& e) const {
+    return aggspes::hash_values(e.key, e.val);
+  }
+};
+
+namespace aggspes {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<Tuple<Ev>> random_stream(unsigned seed, int n) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<Timestamp> gap(0, 3);
+  std::uniform_int_distribution<int> key_d(0, 3);
+  std::uniform_int_distribution<int> val_d(0, 9);
+  std::vector<Tuple<Ev>> v;
+  Timestamp ts = 0;
+  for (int i = 0; i < n; ++i) {
+    ts += gap(rng);
+    v.push_back({ts, 0, {key_d(rng), val_d(rng)}});
+  }
+  return v;
+}
+
+constexpr Timestamp kPeriod = 7;
+constexpr std::size_t kMarkerEvery = 16;
+constexpr std::size_t kGroupCommit = 8;
+// Small volumes so a ~160-element script spans many roll-overs: the crash
+// matrix then covers many boundary cuts per run.
+constexpr std::size_t kVolumeBytes = 256;
+
+FlatMapFn<Ev, int> test_fm() {
+  return [](const Ev& e) {
+    std::vector<int> out;
+    for (int i = 0; i <= e.val % 3; ++i) out.push_back(e.key * 100 + i);
+    return out;
+  };
+}
+
+class DurableChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("aggspes_dchaos_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path wal_dir(const std::string& tag) { return root_ / tag; }
+
+  fs::path root_;
+};
+
+/// Fault-free single-threaded reference: TimedSource → FM → sink.
+std::multiset<std::pair<Timestamp, int>> reference_run(
+    const std::vector<Tuple<Ev>>& in, Timestamp flush) {
+  Flow single;
+  auto& src = single.add<TimedSource<Ev>>(in, kPeriod, flush);
+  AggBasedFlatMap<Ev, int> op(single, test_fm(), kPeriod);
+  auto& sink = single.add<CollectorSink<int>>();
+  single.connect(src.out(), op.in());
+  single.connect(op.out(), sink.in());
+  single.run();
+  EXPECT_TRUE(sink.ended());
+  return sink.multiset();
+}
+
+struct DurableOutcome {
+  std::multiset<std::pair<Timestamp, int>> output;
+  bool recovered{false};
+  WalStats wal{};
+  std::vector<std::uint64_t> volume_firsts;
+  std::optional<std::uint64_t> frontier;
+  std::vector<std::uint64_t> ids_held;
+};
+
+/// One supervised run of DurableSource → FM → sink over `log_dir`, with
+/// `faults` armed (may be nullptr) and — unless `retain` is off (the dry
+/// runs that enumerate the full volume chain) — the supervisor truncating
+/// the WAL against the checkpoint frontier.
+DurableOutcome durable_run(const std::vector<Tuple<Ev>>& in, Timestamp flush,
+                           const fs::path& log_dir, FaultInjector* faults,
+                           bool retain = true) {
+  const auto script = timed_script(in, kPeriod, flush);
+  InputLog log(WalOptions{log_dir, kVolumeBytes, 0});
+  CheckpointStore store;
+  CollectorSink<int>* sink = nullptr;
+  auto build = [&](ThreadedFlow& tf) {
+    // The source is node 0 (add order) — the crash matrix targets it by
+    // that index via FaultEvent.edge.
+    auto& src = tf.add<DurableSource<Ev>>(script, log, kMarkerEvery,
+                                          kGroupCommit);
+    AggBasedFlatMap<Ev, int> op(tf, test_fm(), kPeriod);
+    sink = &tf.add<CollectorSink<int>>();
+    tf.connect(src, src.out(), op.in_node(), op.in());
+    tf.connect(op.out_node(), op.out(), *sink, sink->in());
+  };
+  RecoveryOptions opts;
+  if (retain) opts.retain_wals.push_back(&log);
+  RecoveryReport report = run_with_recovery(build, store, faults, opts);
+  EXPECT_TRUE(sink->ended());
+  EXPECT_EQ(sink->late_tuples(), 0);
+  EXPECT_EQ(sink->watermark_regressions(), 0);
+  DurableOutcome out;
+  out.output = sink->multiset();
+  out.recovered = report.recovered();
+  out.wal = log.stats();
+  out.volume_firsts = log.volume_first_seqnos();
+  out.frontier = store.latest_complete();
+  out.ids_held = store.ids_held();
+  return out;
+}
+
+FaultInjector targeted_fault(FaultKind kind, std::uint64_t at_append) {
+  FaultInjector faults(/*seed=*/0);
+  FaultEvent e;
+  e.kind = kind;
+  e.attempt = 0;
+  e.edge = 0;  // the durable source's node index
+  e.at_delivery = at_append;
+  faults.add_event(e);
+  return faults;
+}
+
+TEST_F(DurableChaosTest, KillAtEveryVolumeBoundaryIsExactlyOnce) {
+  const auto in = random_stream(201, 120);
+  const Timestamp flush = in.back().ts + 30;
+  const auto reference = reference_run(in, flush);
+  ASSERT_FALSE(reference.empty());
+
+  // Dry run (no faults, retention off so the full chain survives) to learn
+  // where the roll-overs land. On attempt 0 with a fresh log, the Nth
+  // append writes seqno N, so a volume's first seqno *is* the append
+  // ordinal of the record that crossed that boundary.
+  const auto dry =
+      durable_run(in, flush, wal_dir("dry"), nullptr, /*retain=*/false);
+  EXPECT_EQ(dry.output, reference) << "fault-free durable run must match";
+  ASSERT_GT(dry.volume_firsts.size(), 2u)
+      << "volumes too large for the matrix to mean anything";
+
+  const std::set<std::uint64_t> boundaries(dry.volume_firsts.begin(),
+                                           dry.volume_firsts.end());
+  int recoveries = 0;
+  int matrix = 0;
+  for (const std::uint64_t b : boundaries) {
+    SCOPED_TRACE("kill at volume-boundary append " + std::to_string(b));
+    FaultInjector faults = targeted_fault(FaultKind::kKillDuringAppend, b);
+    const auto outcome = durable_run(
+        in, flush, wal_dir("b" + std::to_string(b)), &faults);
+    EXPECT_EQ(outcome.output, reference);
+    if (outcome.recovered) ++recoveries;
+    ++matrix;
+  }
+  EXPECT_EQ(recoveries, matrix)
+      << "every boundary kill must force an actual restore-and-replay";
+}
+
+TEST_F(DurableChaosTest, MidVolumeKillIsExactlyOnce) {
+  const auto in = random_stream(202, 120);
+  const Timestamp flush = in.back().ts + 30;
+  const auto reference = reference_run(in, flush);
+
+  const auto dry =
+      durable_run(in, flush, wal_dir("dry"), nullptr, /*retain=*/false);
+  ASSERT_GT(dry.volume_firsts.size(), 2u);
+  // One past the first seqno of a middle volume: provably not a boundary.
+  const std::size_t k = dry.volume_firsts.size() / 2;
+  const std::uint64_t mid = dry.volume_firsts[k] + 1;
+  ASSERT_LT(mid, dry.volume_firsts[k + 1]);
+  FaultInjector faults = targeted_fault(FaultKind::kKillDuringAppend, mid);
+  const auto outcome = durable_run(in, flush, wal_dir("mid"), &faults);
+  EXPECT_EQ(outcome.output, reference);
+  EXPECT_TRUE(outcome.recovered);
+}
+
+TEST_F(DurableChaosTest, TornWriteIsDetectedAndExactlyOnce) {
+  const auto in = random_stream(203, 120);
+  const Timestamp flush = in.back().ts + 30;
+  const auto reference = reference_run(in, flush);
+
+  FaultInjector faults = targeted_fault(FaultKind::kTornWrite, 37);
+  const auto outcome = durable_run(in, flush, wal_dir("torn"), &faults);
+  EXPECT_EQ(outcome.output, reference);
+  EXPECT_TRUE(outcome.recovered);
+  EXPECT_GE(outcome.wal.torn_truncations, 1u)
+      << "the reopen scan must have cut the half-written frame";
+}
+
+TEST_F(DurableChaosTest, RetentionTruncatesWalBehindTheCheckpointFrontier) {
+  const auto in = random_stream(204, 160);
+  const Timestamp flush = in.back().ts + 30;
+  const auto outcome = durable_run(in, flush, wal_dir("retain"), nullptr);
+  // The supervisor ran its retention pass after the successful attempt:
+  // with 256-byte volumes and a frontier near the end of the script,
+  // leading volumes must have been deleted...
+  ASSERT_TRUE(outcome.frontier.has_value());
+  EXPECT_GT(outcome.wal.volumes_deleted, 0u);
+  ASSERT_FALSE(outcome.volume_firsts.empty());
+  EXPECT_GT(outcome.volume_firsts.front(), 1u)
+      << "volume 1 was wholly below the frontier and must be gone";
+  // ...and the store's own GC holds no ids below the frontier.
+  ASSERT_FALSE(outcome.ids_held.empty());
+  EXPECT_GE(outcome.ids_held.front(), *outcome.frontier);
+}
+
+TEST_F(DurableChaosTest, SeedDrivenChannelFaultsComposeWithDurableIngress) {
+  // The seed-derived schedule (channel crashes/drops/dups) must compose
+  // with durable ingestion: restores rewind the source, which re-serves
+  // the acked suffix from WAL bytes instead of the script.
+  const auto in = random_stream(205, 160);
+  const Timestamp flush = in.back().ts + 30;
+  const auto reference = reference_run(in, flush);
+  int recoveries = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE("durable chaos seed " + std::to_string(seed));
+    FaultInjector faults(seed);
+    const auto outcome =
+        durable_run(in, flush, wal_dir("s" + std::to_string(seed)), &faults);
+    EXPECT_EQ(outcome.output, reference);
+    if (outcome.recovered) ++recoveries;
+  }
+  EXPECT_GT(recoveries, 0) << "no seed exercised durable recovery";
+}
+
+}  // namespace
+}  // namespace aggspes

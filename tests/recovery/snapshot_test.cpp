@@ -174,6 +174,54 @@ TEST(CheckpointStore, NewEpochDropsStalePartials) {
   EXPECT_EQ(*store.latest_complete(), 2u);
 }
 
+// GC: completing a checkpoint prunes every superseded id — the store's
+// footprint is bounded by the in-flight window, not run length.
+TEST(CheckpointStore, CompletionPrunesSupersededIds) {
+  CheckpointStore store;
+  store.set_expected_nodes(2);
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    store.record(0, id, bytes_of(0));
+    store.record(1, id, bytes_of(1));
+  }
+  store.record(0, 4, bytes_of(0));  // in flight
+  EXPECT_EQ(*store.latest_complete(), 3u);
+  EXPECT_EQ(store.ids_held(), (std::vector<std::uint64_t>{3, 4}))
+      << "ids 1 and 2 are superseded and must be gone";
+  EXPECT_FALSE(store.find(0, 1).has_value());
+  EXPECT_FALSE(store.find(1, 2).has_value());
+  EXPECT_TRUE(store.find(0, 3).has_value()) << "the frontier itself stays";
+}
+
+// The regression this PR fixes: a node restarted mid-barrier may replay an
+// *old* barrier id and try to record for it after the frontier moved past.
+// That stale record must be refused — a resurrected entry could never be
+// restored, but a partially resurrected id could later look complete with
+// mixed-epoch records.
+TEST(CheckpointStore, StaleReRecordAfterRestartDoesNotResurrect) {
+  CheckpointStore store;
+  store.set_expected_nodes(2);
+  for (std::uint64_t id = 1; id <= 2; ++id) {
+    store.record(0, id, bytes_of(0));
+    store.record(1, id, bytes_of(1));
+  }
+  EXPECT_EQ(*store.latest_complete(), 2u);
+
+  store.set_expected_nodes(2);     // restart attempt
+  store.record(0, 1, bytes_of(9));  // node 0 replays old id 1
+  EXPECT_EQ(store.stale_dropped(), 1u);
+  EXPECT_FALSE(store.find(0, 1).has_value()) << "id 1 resurrected";
+  EXPECT_EQ(store.ids_held(), (std::vector<std::uint64_t>{2}));
+  store.record(1, 1, bytes_of(9));  // even "completing" it must not count
+  EXPECT_EQ(store.stale_dropped(), 2u);
+  EXPECT_EQ(*store.latest_complete(), 2u);
+
+  // Re-recording the frontier id itself is still legal (idempotent
+  // overwrite — the existing contract).
+  store.record(0, 2, bytes_of(7));
+  EXPECT_EQ(store.stale_dropped(), 2u);
+  EXPECT_EQ(store.find(0, 2)->at(0), 7);
+}
+
 TEST(CheckpointStore, ClearResetsEverything) {
   CheckpointStore store;
   store.set_expected_nodes(1);
