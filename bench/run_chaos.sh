@@ -18,7 +18,8 @@ cmake -B "$BUILD" -S "$ROOT" -DAGGSPES_SANITIZE="$SANITIZE" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j"$(nproc)" --target chaos_test swa_chaos_test \
       overload_test overload_chaos_test \
-      input_log_test durable_source_test durable_chaos_test
+      input_log_test durable_source_test durable_chaos_test \
+      sharded_flow_test sharded_chaos_test
 
 for i in $(seq 1 "$RUNS"); do
   echo "=== chaos sweep $i/$RUNS (sanitize=$SANITIZE) ==="
@@ -48,3 +49,18 @@ for i in $(seq 1 "$RUNS"); do
     2>&1 | tee -a "$DURABILITY_LOG"
 done
 echo "durability sweep transcript: $DURABILITY_LOG"
+
+# Sharded sweep: N-shard-vs-oracle equivalence plus the single-shard
+# crash/repair protocol (kill one shard, restore its cut, replay its WAL
+# suffix, merge with the healthy taps). Which checkpoints complete before
+# the injected crash is thread-timing dependent, so repetition covers both
+# the restore-at-cut and the replay-from-scratch paths; the transcript
+# lands in results/ like the durability matrix.
+SHARDED_LOG="$ROOT/results/chaos_sharded_${SANITIZE}.txt"
+: >"$SHARDED_LOG"
+for i in $(seq 1 "$RUNS"); do
+  echo "=== sharded sweep $i/$RUNS (sanitize=$SANITIZE) ==="
+  ctest --test-dir "$BUILD" -L sharded --output-on-failure -j"$(nproc)" \
+    2>&1 | tee -a "$SHARDED_LOG"
+done
+echo "sharded sweep transcript: $SHARDED_LOG"

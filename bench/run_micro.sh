@@ -11,9 +11,10 @@ BUILD="${BUILD_DIR:-$ROOT/build}"
 OUT="${OUT:-$ROOT/BENCH_swa.json}"
 MIN_TIME="${MIN_TIME:-0.3}"
 
-if [[ ! -x "$BUILD/bench/bench_swa" ]]; then
+if [[ ! -x "$BUILD/bench/bench_swa" || ! -x "$BUILD/bench/bench_sharded" ]]; then
   cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build "$BUILD" -j"$(nproc)" --target bench_swa bench_micro_core
+  cmake --build "$BUILD" -j"$(nproc)" \
+    --target bench_swa bench_micro_core bench_sharded
 fi
 
 tmp="$(mktemp -d)"
@@ -35,6 +36,13 @@ trap 'rm -rf "$tmp"' EXIT
     --benchmark_repetitions=5 \
     --benchmark_report_aggregates_only=true >"$tmp/tails.json"
 
+# Shard scaling (DESIGN.md § 13): the fig6 FM ladder at N ∈ {1,2,4,8}
+# shards. Not a google-benchmark binary — it emits its section directly
+# (measured speedup, the >= 3.0x N=8 accept flag, and the host core count
+# the flag has to be read against: shards only buy wall-clock throughput
+# when their threads land on distinct cores).
+"$BUILD/bench/bench_sharded" >"$tmp/sharded.json"
+
 jq -s '
   def cpu($f; $name):
     $f.benchmarks[] | select(.name == $name) | .cpu_time;
@@ -43,7 +51,7 @@ jq -s '
   def med($f; $rn; $field):
     $f.benchmarks[]
     | select(.run_name == $rn and .aggregate_name == "median") | .[$field];
-  . as [$swa, $micro, $tails] |
+  . as [$swa, $micro, $tails, $sharded] |
   {
     # DABA acceptance (DESIGN.md § 11): worst-case-constant-time slide at
     # WS/WA = 32 means the de-amortized structure'"'"'s per-op p999 stays
@@ -169,11 +177,18 @@ jq -s '
            0.8 * ctr($swa; "BM_SourceIngest_Plain"; "items_per_second"))
       }
     ),
+    # Shard scaling (bench_sharded): the section arrives pre-computed —
+    # ladder points per width, measured N=8/N=1 speedup, its >= 3.0x
+    # accept flag, and the core count the flag must be read against.
+    shard_scaling: $sharded,
     bench_swa: $swa,
     bench_micro_core: $micro,
     bench_swa_tails: $tails
-  }' "$tmp/swa.json" "$tmp/micro.json" "$tmp/tails.json" >"$OUT"
+  }' "$tmp/swa.json" "$tmp/micro.json" "$tmp/tails.json" \
+     "$tmp/sharded.json" >"$OUT"
 
 echo "wrote $OUT"
 jq '{speedup_vs_buffering, flow_speedup_monoid_vs_buffering, join_pane_memory,
-     worst_case_latency, ooo_tolerance, wal_overhead}' "$OUT"
+     worst_case_latency, ooo_tolerance, wal_overhead,
+     shard_scaling: (.shard_scaling
+                     | {cores, speedup_n8_vs_n1, accept_n8_ge_3x})}' "$OUT"

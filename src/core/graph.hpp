@@ -217,6 +217,12 @@ class Flow {
     connect(from, to, kind);
   }
 
+  /// Nodes/edges added so far, in add()/connect() order — the same stable
+  /// indices ThreadedFlow exposes, so builders (ShardedFlow) can record
+  /// which index ranges belong to which shard on either runtime.
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
   /// Pumps all sources and drains the graph to quiescence.
   /// `max_deliveries` guards against livelock in buggy cyclic graphs;
   /// throws std::runtime_error when exceeded.

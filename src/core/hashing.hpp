@@ -15,6 +15,19 @@
 
 namespace aggspes {
 
+/// SplitMix64 bit mixer. Serves two roles: the deterministic source of
+/// shedding randomness and backoff jitter (seeded, so chaos runs
+/// reproduce), and the finalizer the KeySplitter applies to std::hash
+/// values before taking them mod N — libstdc++'s std::hash<integral> is
+/// the identity, so without a finalizing mix, shard routing would expose
+/// raw key arithmetic (key % N) instead of a uniform spread.
+inline constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Mixes `v`'s hash into the running seed (boost-style combiner with a
 /// 64-bit golden-ratio constant).
 template <typename T>

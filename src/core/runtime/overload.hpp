@@ -39,19 +39,15 @@
 #include <utility>
 #include <vector>
 
+#include "core/hashing.hpp"
 #include "core/types.hpp"
 #include "core/window.hpp"
 
 namespace aggspes {
 
-/// SplitMix64 bit mixer: the deterministic source of shedding randomness
-/// and backoff jitter (seeded, so chaos runs reproduce).
-inline constexpr std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+// splitmix64 — the mixer behind every seeded shedding/jitter draw below —
+// lives in core/hashing.hpp since the sharding subsystem reuses it for
+// shard routing.
 
 /// Flow health as classified by the OverloadMonitor. Ordered: comparisons
 /// like `health >= kPressured` read as "at least pressured".

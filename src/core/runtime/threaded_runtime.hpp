@@ -209,6 +209,30 @@ class ThreadedFlow {
   /// The monitor must outlive run(). Pass nullptr to detach.
   void attach_overload(OverloadMonitor* monitor) { monitor_ = monitor; }
 
+  /// A scoped monitor observes only a subset of the flow — the edges and
+  /// nodes of one shard — so a sharded deployment classifies each shard's
+  /// health independently (one slow shard reads overloaded while its
+  /// siblings stay healthy; a single whole-flow monitor would blur that
+  /// into "somewhat pressured everywhere"). `edges` are connect-order
+  /// channel indices, `nodes` add-order node indices. The scope's lag is
+  /// measured against the GLOBAL watermark frontier: "how far does this
+  /// shard trail the sources", which is the number a per-shard shedder
+  /// should react to. Scopes compose with (and are sampled after) the
+  /// whole-flow monitor; each monitor must outlive run().
+  struct OverloadScope {
+    OverloadMonitor* monitor;
+    std::vector<std::size_t> edges;
+    std::vector<std::size_t> nodes;
+  };
+
+  void attach_overload_scope(OverloadMonitor* monitor,
+                             std::vector<std::size_t> edges,
+                             std::vector<std::size_t> nodes) {
+    scopes_.push_back({monitor, std::move(edges), std::move(nodes)});
+  }
+
+  void clear_overload_scopes() { scopes_.clear(); }
+
   /// Snapshot of every channel's gauges, in connect order (capacity 0 =
   /// unbounded loop edge). Safe to call from any thread.
   std::vector<ChannelGauge> channel_gauges() {
@@ -241,7 +265,7 @@ class ThreadedFlow {
     }
     std::thread dog;
     if (opts.watchdog_timeout.count() > 0 || opts.failure_drain.count() > 0 ||
-        monitor_ != nullptr) {
+        monitor_ != nullptr || !scopes_.empty()) {
       dog = std::thread([this, opts] { watchdog(opts); });
     }
     for (auto& t : threads) t.join();
@@ -608,7 +632,7 @@ class ThreadedFlow {
   /// watermark spread (frontier = fastest node, typically a source;
   /// laggard = slowest consuming node). Watchdog thread only.
   void sample_overload() {
-    if (monitor_ == nullptr) return;
+    if (monitor_ == nullptr && scopes_.empty()) return;
     Timestamp frontier = kMinTimestamp;
     Timestamp laggard = kMinTimestamp;
     for (const auto& r : runners_) {
@@ -619,7 +643,31 @@ class ThreadedFlow {
         laggard = w;
       }
     }
-    monitor_->observe(channel_gauges(), frontier, laggard);
+    if (monitor_ != nullptr) {
+      monitor_->observe(channel_gauges(), frontier, laggard);
+    }
+    for (const OverloadScope& scope : scopes_) {
+      std::vector<ChannelGauge> gauges;
+      gauges.reserve(scope.edges.size());
+      for (std::size_t e : scope.edges) {
+        ChannelBase& ch = *channels_[e];
+        gauges.push_back(
+            {ch.depth(), ch.capacity(), ch.stall_ns(), ch.high_water()});
+      }
+      // Scope laggard: slowest consuming node inside the scope; lag is
+      // measured against the global frontier (the sources), so a stalled
+      // shard shows the full distance it trails, not just internal spread.
+      Timestamp scope_laggard = kMinTimestamp;
+      for (std::size_t n : scope.nodes) {
+        const Runner& r = *runners_[n];
+        const Timestamp w = r.node->node_watermark();
+        if (w == kMinTimestamp || r.inputs.empty()) continue;
+        if (scope_laggard == kMinTimestamp || w < scope_laggard) {
+          scope_laggard = w;
+        }
+      }
+      scope.monitor->observe(gauges, frontier, scope_laggard);
+    }
   }
 
   void watchdog(RunOptions opts) {
@@ -674,6 +722,7 @@ class ThreadedFlow {
 
   std::atomic<bool> abort_{false};
   OverloadMonitor* monitor_{nullptr};
+  std::vector<OverloadScope> scopes_;
   std::mutex fail_mu_;
   std::vector<Failure> failures_;
   std::string watchdog_report_;

@@ -40,6 +40,25 @@ class WatermarkCombiner {
     return false;
   }
 
+  /// Excludes `port` from the min-merge because its stream ended: a
+  /// finished input can never again hold the combined watermark back, so
+  /// its slot is pinned to kMaxTimestamp (an ended stream has, by
+  /// definition, watermark +∞). Returns true if the combined watermark
+  /// strictly increased as a result — the caller should then fire windows
+  /// and forward the released value. The combined watermark itself never
+  /// takes on kMaxTimestamp: once EVERY port has ended it stays at the
+  /// last real minimum (end-of-stream, not a sentinel watermark, is the
+  /// final progress signal downstream).
+  bool mark_ended(int port) {
+    latest_[static_cast<std::size_t>(port)] = kMaxTimestamp;
+    Timestamp combined = *std::min_element(latest_.begin(), latest_.end());
+    if (combined != kMaxTimestamp && combined > current()) {
+      combined_.store(combined, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
   /// The operator's current watermark W_O^ω. (Atomically readable so the
   /// runtime watchdog can report watermark positions from its own thread.)
   Timestamp current() const {

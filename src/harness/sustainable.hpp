@@ -28,6 +28,7 @@
 #include "core/runtime/measuring_sink.hpp"
 #include "core/runtime/overload.hpp"
 #include "core/runtime/rate_source.hpp"
+#include "core/runtime/sharded/sharded_flow.hpp"
 #include "core/runtime/threaded_runtime.hpp"
 #include "core/swa/backends.hpp"
 
@@ -130,10 +131,33 @@ struct RunConfig {
   ShedConfig shed{};
   OverloadThresholds overload{};
   DurabilityConfig durability{};
+  /// Shard-parallel deployment width (DESIGN.md § 13). 1 (the default)
+  /// runs the classic single-instance pipeline, byte-identical to the
+  /// pre-sharding harness. N > 1 deploys the FM operator as key splitter
+  /// → N shards → watermark-merging union via ShardedFlow: shedding
+  /// moves from source admission to the per-shard ingress (each shard's
+  /// Shedder reads its own OverloadMonitor) and durable mode logs to N
+  /// shard-local WAL partitions instead of one source WAL. Join runners
+  /// reject shards > 1 (two-input co-partitioning is not wired yet).
+  int shards{1};
 };
 
 /// How many of the heaviest-shed keys a run reports.
 inline constexpr std::size_t kShedTopK = 8;
+
+/// One shard's slice of a sharded run (RunResult::per_shard): how many
+/// tuples the splitter routed to it, how many its ingress shed, the worst
+/// health its own monitor saw, its operator copy's occupancy peaks, and
+/// its WAL partition depth. Mirrors ShardStats with the health rendered
+/// as the same string vocabulary RunResult::health uses.
+struct ShardDiag {
+  std::uint64_t routed{0};
+  std::uint64_t shed{0};
+  std::string health;
+  std::uint64_t peak_stored{0};
+  std::uint64_t peak_panes{0};
+  std::uint64_t wal_records{0};
+};
 
 struct RunResult {
   double offered_per_s{0};   ///< configured injection rate
@@ -170,6 +194,13 @@ struct RunResult {
   std::uint64_t wal_records{0};
   std::uint64_t wal_syncs{0};
   std::uint64_t wal_volumes{0};
+  /// Sharded deployment (cfg.shards): width the run used (1 = unsharded)
+  /// and per-shard diagnostics, empty for unsharded runs. The flat fields
+  /// above stay meaningful in sharded runs as aggregates — shed_count and
+  /// wal_records sum over shards, health is the worst shard's, the
+  /// occupancy peaks sum (total state footprint across shards).
+  int shards{1};
+  std::vector<ShardDiag> per_shard;
 };
 
 /// A pipeline runner at a given injection rate (implementation and
@@ -303,6 +334,139 @@ RunResult finalize(const RunConfig& cfg, double offered,
   return r;
 }
 
+/// Sharded FM runner (cfg.shards > 1): RateSource → ShardedFlow(N × Impl)
+/// → MeasuringSink. Shedding and durability move inside the shards —
+/// each shard's Shedder gates its own ingress reading its own monitor,
+/// and durable mode logs to N shard-local WAL partitions — so the run's
+/// degraded/durable accounting is the sum over its shards.
+template <typename In, typename Out,
+          template <typename, typename> class MachineT>
+RunResult run_fm_sharded(Impl impl, const RunConfig& cfg,
+                         std::function<In(std::uint64_t)> gen,
+                         FlatMapFn<In, Out> f_fm) {
+  ThreadedFlow flow;
+  const Timestamp flush = 3 * cfg.wm_period + 10;
+  auto& src = flow.add<RateSource<In>>(
+      source_config<In>(cfg, cfg.rate, flush), std::move(gen));
+  auto& sink = flow.add<MeasuringSink<Out>>();
+
+  std::vector<std::unique_ptr<ScopedWal>> wals;
+  typename ShardedFlow<In, Out, In>::Options opts;
+  // Theorem 1 routing: key = the whole payload, so identical tuples
+  // co-locate — the same f_K the AggBased embedding uses.
+  opts.key_fn = [](const In& v) { return v; };
+  opts.shed = cfg.shed;
+  opts.thresholds = cfg.overload;
+  if (cfg.durability.enabled) {
+    for (int s = 0; s < cfg.shards; ++s) {
+      wals.push_back(std::make_unique<ScopedWal>(
+          cfg.durability, "fm_shard" + std::to_string(s)));
+      opts.wals.push_back(&wals.back()->log());
+    }
+  }
+
+  auto factory = [&](auto& f, int) -> ShardEndpoints<In, Out> {
+    ShardEndpoints<In, Out> ep;
+    switch (impl) {
+      case Impl::kDedicated: {
+        auto& op = f.template add<FlatMapOp<In, Out>>(f_fm);
+        ep.in_node = &op;
+        ep.in = &op.in();
+        ep.out_node = &op;
+        ep.out = &op.out();
+        break;
+      }
+      case Impl::kAggBased: {
+        AggBasedFlatMap<In, Out, MachineT> op(f, f_fm, cfg.wm_period);
+        ep.in_node = &op.in_node();
+        ep.in = &op.in();
+        ep.out_node = &op.out_node();
+        ep.out = &op.out();
+        auto* m = &op.embed().machine();
+        m->reset_diagnostics();
+        ep.occupancy = [m]() -> std::pair<std::size_t, std::size_t> {
+          return {m->peak_occupancy(), m->peak_panes()};
+        };
+        break;
+      }
+      case Impl::kAPlus: {
+        auto& op = make_aplus_flatmap<In, Out, MachineT>(f, f_fm);
+        ep.in_node = &op;
+        ep.in = &op.in();
+        ep.out_node = &op;
+        ep.out = &op.out();
+        auto* m = &op.machine();
+        m->reset_diagnostics();
+        ep.occupancy = [m]() -> std::pair<std::size_t, std::size_t> {
+          return {m->peak_occupancy(), m->peak_panes()};
+        };
+        break;
+      }
+    }
+    return ep;
+  };
+
+  ShardedFlow<In, Out, In> sf(flow, cfg.shards, std::move(opts), factory);
+  flow.connect(src, src.out(), sf.in_node(), sf.in());
+  flow.connect(sf.out_node(), sf.out(), sink, sink.in());
+
+  const std::uint64_t t0 = now_ns();
+  flow.run();
+  const std::uint64_t t1 = now_ns();
+  RunResult r = finalize(cfg, cfg.rate, t0, t1, src.emitted(),
+                         src.emission_seconds(), sink, 0);
+  r.backend = backend_name(cfg.backend);
+  r.cutoff_fired = src.cutoff_fired();
+  r.cutoff_at_s = src.cutoff_at_s();
+  r.shards = cfg.shards;
+
+  const std::vector<ShardStats> stats = sf.shard_stats();
+  FlowHealth worst = FlowHealth::kHealthy;
+  std::uint64_t routed_total = 0;
+  for (const ShardStats& st : stats) {
+    ShardDiag d;
+    d.routed = st.routed;
+    d.shed = st.shed;
+    d.health = flow_health_name(st.health);
+    d.peak_stored = st.peak_stored;
+    d.peak_panes = st.peak_panes;
+    d.wal_records = st.wal_records;
+    r.per_shard.push_back(std::move(d));
+    r.shed_count += st.shed;
+    r.peak_stored += st.peak_stored;
+    r.peak_panes += st.peak_panes;
+    r.wal_records += st.wal_records;
+    routed_total += st.routed;
+    worst = std::max(worst, st.health);
+  }
+  if (cfg.shed.policy != ShedPolicy::kNone) {
+    r.shed_ratio = routed_total > 0
+                       ? static_cast<double>(r.shed_count) /
+                             static_cast<double>(routed_total)
+                       : 0;
+    r.health = flow_health_name(worst);
+    std::unordered_map<std::uint64_t, std::uint64_t> by_key;
+    for (int s = 0; s < cfg.shards; ++s) {
+      if (sf.shedder(s) == nullptr) continue;
+      for (const auto& [k, n] : sf.shedder(s)->top_shed_keys(kShedTopK)) {
+        by_key[k] += n;
+      }
+    }
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> top(by_key.begin(),
+                                                             by_key.end());
+    std::sort(top.begin(), top.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (top.size() > kShedTopK) top.resize(kShedTopK);
+    r.shed_top_keys = std::move(top);
+  }
+  for (auto& w : wals) {
+    const WalStats& ws = w->log().stats();
+    r.wal_syncs += ws.syncs;
+    r.wal_volumes += ws.volumes_created;
+  }
+  return r;
+}
+
 }  // namespace detail
 
 /// Builds and runs one FM experiment (D / A / A+) at cfg.rate with the
@@ -312,6 +476,10 @@ template <typename In, typename Out,
 RunResult run_fm_t(Impl impl, const RunConfig& cfg,
                    std::function<In(std::uint64_t)> gen,
                    FlatMapFn<In, Out> f_fm) {
+  if (cfg.shards > 1) {
+    return detail::run_fm_sharded<In, Out, MachineT>(impl, cfg, std::move(gen),
+                                                     std::move(f_fm));
+  }
   ThreadedFlow flow;
   const Timestamp flush = 3 * cfg.wm_period + 10;
   auto& src = flow.add<RateSource<In>>(
@@ -434,6 +602,11 @@ RunResult run_join_t(Impl impl, const RunConfig& cfg,
                      std::function<Key(const L&)> f_k1,
                      std::function<Key(const R&)> f_k2,
                      std::function<bool(const L&, const R&)> f_p) {
+  if (cfg.shards > 1) {
+    throw std::invalid_argument(
+        "join runners do not support shards > 1 yet: co-partitioning two "
+        "inputs through one ShardPlan is future work (DESIGN.md § 13)");
+  }
   ThreadedFlow flow;
   auto comparisons = std::make_shared<std::atomic<std::uint64_t>>(0);
   auto counted_pred = [f_p = std::move(f_p), comparisons](const L& a,
