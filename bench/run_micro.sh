@@ -11,10 +11,11 @@ BUILD="${BUILD_DIR:-$ROOT/build}"
 OUT="${OUT:-$ROOT/BENCH_swa.json}"
 MIN_TIME="${MIN_TIME:-0.3}"
 
-if [[ ! -x "$BUILD/bench/bench_swa" || ! -x "$BUILD/bench/bench_sharded" ]]; then
+if [[ ! -x "$BUILD/bench/bench_swa" || ! -x "$BUILD/bench/bench_sharded" ||
+      ! -x "$BUILD/bench/bench_multiquery" ]]; then
   cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$BUILD" -j"$(nproc)" \
-    --target bench_swa bench_micro_core bench_sharded
+    --target bench_swa bench_micro_core bench_sharded bench_multiquery
 fi
 
 tmp="$(mktemp -d)"
@@ -43,6 +44,12 @@ trap 'rm -rf "$tmp"' EXIT
 # when their threads land on distinct cores).
 "$BUILD/bench/bench_sharded" >"$tmp/sharded.json"
 
+# Multi-query pane sharing (DESIGN.md § 14): one flow hosting Q ∈
+# {1,16,256} queries on a shared lattice vs Q dedicated flows. Also a
+# direct-emit section — the headline number is the Q=256 marginal cost of
+# one added query and its <= 0.1x-a-dedicated-flow accept flag.
+"$BUILD/bench/bench_multiquery" >"$tmp/multiquery.json"
+
 jq -s '
   def cpu($f; $name):
     $f.benchmarks[] | select(.name == $name) | .cpu_time;
@@ -51,7 +58,7 @@ jq -s '
   def med($f; $rn; $field):
     $f.benchmarks[]
     | select(.run_name == $rn and .aggregate_name == "median") | .[$field];
-  . as [$swa, $micro, $tails, $sharded] |
+  . as [$swa, $micro, $tails, $sharded, $multiquery] |
   {
     # DABA acceptance (DESIGN.md § 11): worst-case-constant-time slide at
     # WS/WA = 32 means the de-amortized structure'"'"'s per-op p999 stays
@@ -181,14 +188,22 @@ jq -s '
     # ladder points per width, measured N=8/N=1 speedup, its >= 3.0x
     # accept flag, and the core count the flag must be read against.
     shard_scaling: $sharded,
+    # Multi-query sharing (bench_multiquery): pre-computed section —
+    # shared vs independent wall time per Q, the Q=256 marginal cost of
+    # one added query, and its <= 0.1x-a-dedicated-flow accept flag.
+    multiquery_sharing: $multiquery,
     bench_swa: $swa,
     bench_micro_core: $micro,
     bench_swa_tails: $tails
   }' "$tmp/swa.json" "$tmp/micro.json" "$tmp/tails.json" \
-     "$tmp/sharded.json" >"$OUT"
+     "$tmp/sharded.json" "$tmp/multiquery.json" >"$OUT"
 
 echo "wrote $OUT"
 jq '{speedup_vs_buffering, flow_speedup_monoid_vs_buffering, join_pane_memory,
      worst_case_latency, ooo_tolerance, wal_overhead,
      shard_scaling: (.shard_scaling
-                     | {cores, speedup_n8_vs_n1, accept_n8_ge_3x})}' "$OUT"
+                     | {cores, speedup_n8_vs_n1, accept_n8_ge_3x}),
+     multiquery_sharing: (.multiquery_sharing
+                          | {max_queries, marginal_cost_per_query_ms,
+                             dedicated_flow_ms,
+                             accept_marginal_le_0p1x_dedicated})}' "$OUT"

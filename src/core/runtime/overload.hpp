@@ -35,6 +35,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -283,6 +284,27 @@ class Shedder {
     return shed_by_key_;
   }
 
+  /// Attributes an already-counted shed decision to query `query`. A
+  /// multi-query lattice stores each tuple once, so one admit() refusal is
+  /// a loss for *every* query whose instance set contained the tuple; the
+  /// lattice calls this once per affected query so per-query accounting
+  /// does not mis-attribute flow-global drops. Producer-thread state, like
+  /// shed_by_key_ (see admit()); readers consume it after the run.
+  void attribute_query(int query, std::uint64_t n = 1) {
+    shed_by_query_[query] += n;
+  }
+
+  /// Tuples shed per registered query (keyed by query index, ordered so
+  /// reports are deterministic). Only populated by multi-query callers.
+  const std::map<int, std::uint64_t>& shed_by_query() const {
+    return shed_by_query_;
+  }
+
+  std::uint64_t shed_for_query(int query) const {
+    auto it = shed_by_query_.find(query);
+    return it == shed_by_query_.end() ? 0 : it->second;
+  }
+
   /// The k heaviest-shed keys as (key hash, shed count), descending by
   /// count with key hash as the tie-break so reports are deterministic.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> top_shed_keys(
@@ -327,6 +349,7 @@ class Shedder {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> admitted_{0};
   std::unordered_map<std::uint64_t, std::uint64_t> shed_by_key_;
+  std::map<int, std::uint64_t> shed_by_query_;
 };
 
 }  // namespace aggspes

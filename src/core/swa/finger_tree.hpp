@@ -55,6 +55,20 @@ class AggTreap {
     return root_ ? root_->subtree : empty;
   }
 
+  /// Fold of the values with keys in [lo, hi), in key order; `empty` when
+  /// the range holds nothing (it must be an identity of `comb`, as
+  /// WindowAggregate's count == 0 is). O(log n): the recursion touches
+  /// only the two boundary spines and reuses whole-subtree aggregates in
+  /// between. This is the range-query surface DESIGN.md § 11 promised —
+  /// the shared lattice answers every query's [l, l + WS) fold from one
+  /// tree per key.
+  template <typename Comb>
+  V range_fold_or(Timestamp lo, Timestamp hi, const V& empty,
+                  const Comb& comb) const {
+    if (lo >= hi) return empty;
+    return range_both(root_.get(), lo, hi, empty, comb);
+  }
+
   std::size_t size() const { return size_; }
   bool empty() const { return root_ == nullptr; }
   void clear() {
@@ -71,6 +85,39 @@ class AggTreap {
     std::unique_ptr<Node> left, right;
   };
   using NodePtr = std::unique_ptr<Node>;
+
+  /// Fold of the keys >= lo within n's subtree (left boundary spine).
+  template <typename Comb>
+  static V range_ge(const Node* n, Timestamp lo, const V& empty,
+                    const Comb& comb) {
+    if (n == nullptr) return empty;
+    if (n->key < lo) return range_ge(n->right.get(), lo, empty, comb);
+    V acc = comb(range_ge(n->left.get(), lo, empty, comb), n->value);
+    if (n->right) acc = comb(acc, n->right->subtree);
+    return acc;
+  }
+
+  /// Fold of the keys < hi within n's subtree (right boundary spine).
+  template <typename Comb>
+  static V range_lt(const Node* n, Timestamp hi, const V& empty,
+                    const Comb& comb) {
+    if (n == nullptr) return empty;
+    if (n->key >= hi) return range_lt(n->left.get(), hi, empty, comb);
+    V acc = n->left ? comb(n->left->subtree, n->value) : n->value;
+    return comb(acc, range_lt(n->right.get(), hi, empty, comb));
+  }
+
+  /// Fold of the keys in [lo, hi): descends to the split node, then hands
+  /// each side to its single-boundary helper.
+  template <typename Comb>
+  static V range_both(const Node* n, Timestamp lo, Timestamp hi,
+                      const V& empty, const Comb& comb) {
+    if (n == nullptr) return empty;
+    if (n->key < lo) return range_both(n->right.get(), lo, hi, empty, comb);
+    if (n->key >= hi) return range_both(n->left.get(), lo, hi, empty, comb);
+    V acc = comb(range_ge(n->left.get(), lo, empty, comb), n->value);
+    return comb(acc, range_lt(n->right.get(), hi, empty, comb));
+  }
 
   /// Deterministic priority: reruns build identical shapes.
   static std::uint64_t prio_of(Timestamp key) {

@@ -21,6 +21,11 @@ struct LateEvent {
   Timestamp tuple_ts{0};   ///< τ of the late tuple
   Timestamp watermark{0};  ///< operator watermark when the tuple arrived
   bool dropped{false};
+  /// Which registered query the event belongs to. Single-query machines
+  /// leave it 0; the shared lattice stamps the per-query index via
+  /// LateProbe::set_query so one probe hook can attribute drops when Q
+  /// queries share one pane store.
+  int query{0};
 };
 
 /// Holder for the optional probe callback. Invocation is sampled: the hook
@@ -38,8 +43,18 @@ class LateProbe {
 
   explicit operator bool() const { return static_cast<bool>(fn_); }
 
-  void operator()(const LateEvent& e) {
-    if (fn_ && observed_ % every_ == 0) fn_(e);
+  /// Tags every event this probe emits with a query index (multi-query
+  /// lattices give each registered query its own probe; the tag lets one
+  /// shared hook tell them apart). Default 0 — single-query machines need
+  /// not care.
+  void set_query(int q) { query_ = q; }
+  int query() const { return query_; }
+
+  void operator()(LateEvent e) {
+    if (fn_ && observed_ % every_ == 0) {
+      e.query = query_;
+      fn_(e);
+    }
     ++observed_;
   }
 
@@ -55,6 +70,7 @@ class LateProbe {
   Fn fn_;
   std::uint64_t every_{1024};
   std::uint64_t observed_{0};
+  int query_{0};
 };
 
 }  // namespace aggspes

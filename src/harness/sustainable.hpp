@@ -140,6 +140,13 @@ struct RunConfig {
   /// shard-local WAL partitions instead of one source WAL. Join runners
   /// reject shards > 1 (two-input co-partitioning is not wired yet).
   int shards{1};
+  /// Multi-query mode (DESIGN.md § 14): when non-empty, run_multiquery
+  /// (harness/multiquery.hpp) hosts one window query per spec on a single
+  /// shared pane lattice (MultiQueryMonoidOp) instead of the single-query
+  /// pipelines above, and RunResult carries per-query slices. Shedding
+  /// gates the lattice's store edge (one decision per tuple, attributed
+  /// per query) rather than source admission.
+  std::vector<WindowSpec> queries;
 };
 
 /// How many of the heaviest-shed keys a run reports.
@@ -157,6 +164,21 @@ struct ShardDiag {
   std::uint64_t peak_stored{0};
   std::uint64_t peak_panes{0};
   std::uint64_t wal_records{0};
+};
+
+/// One query's slice of a multi-query run (RunResult::per_query): its
+/// spec, outputs emitted, and the shared lattice's per-query accounting —
+/// store-level sheds attributed to it (Shedder::attribute_query), its own
+/// lateness drops/updates, and walk-fired instances. Shed/late numbers
+/// are per query by construction, not a flow-global total divided by Q.
+struct QueryDiag {
+  Timestamp advance{0};  ///< WA of the registered spec
+  Timestamp size{0};     ///< WS of the registered spec
+  std::uint64_t outputs{0};
+  std::uint64_t shed{0};
+  std::uint64_t dropped_late{0};
+  std::uint64_t late_updates{0};
+  std::uint64_t fired_instances{0};
 };
 
 struct RunResult {
@@ -201,6 +223,12 @@ struct RunResult {
   /// occupancy peaks sum (total state footprint across shards).
   int shards{1};
   std::vector<ShardDiag> per_shard;
+  /// Multi-query deployment (cfg.queries, DESIGN.md § 14): how many
+  /// queries the shared lattice hosted (1 = classic single-query run) and
+  /// per-query slices, empty for single-query runs. outputs_per_s and
+  /// latency stay meaningful as the whole-flow aggregates.
+  int queries{1};
+  std::vector<QueryDiag> per_query;
 };
 
 /// A pipeline runner at a given injection rate (implementation and

@@ -19,6 +19,7 @@
 #include "core/runtime/overload.hpp"
 #include "core/runtime/rate_source.hpp"
 #include "core/runtime/threaded_runtime.hpp"
+#include "core/swa/shared_lattice.hpp"
 #include "core/swa/sliced_machine.hpp"
 #include "harness/sustainable.hpp"
 
@@ -493,6 +494,57 @@ TEST(ShedAccounting, SourceGatedShedderPopulatesTopKeys) {
   std::uint64_t sum = 0;
   for (const auto& [key, n] : shed.shed_by_key()) sum += n;
   EXPECT_EQ(sum, shed.shed());
+}
+
+TEST(ShedAccounting, PerQueryAttributionAccumulates) {
+  OverloadMonitor m;
+  Shedder shed({.policy = ShedPolicy::kRandomP}, &m);
+  shed.attribute_query(0, 2);
+  shed.attribute_query(2);
+  EXPECT_EQ(shed.shed_for_query(0), 2u);
+  EXPECT_EQ(shed.shed_for_query(1), 0u);
+  EXPECT_EQ(shed.shed_for_query(2), 1u);
+  EXPECT_EQ(shed.shed_by_query().size(), 2u);
+}
+
+TEST(ShedAccounting, SharedLatticeChargesDropsToCoveredQueriesOnly) {
+  // The shared lattice makes ONE store-level drop decision per tuple and
+  // charges it only to queries whose instance set contains the tuple: a
+  // tuple in query 1's WA > WS sampling gap sheds nothing from query 1.
+  OverloadMonitor m;
+  m.observe({{100, 100, 0, 100}}, 0, kMinTimestamp);  // pinned overloaded
+  Shedder shed({.policy = ShedPolicy::kRandomP, .p_overloaded = 1.0}, &m);
+  swa::MonoidLattice<int, long, int> lattice(
+      {{.advance = 1, .size = 5, .lateness = 0},
+       {.advance = 10, .size = 2, .lateness = 0}},
+      [](const int& v) { return v; },
+      swa::LatticeMonoidPolicy<int, long, int>(swa::Monoid<int, long>{
+          0, [](const int& v) { return long{v}; },
+          [](const long& a, const long& b) { return a + b; }}));
+  lattice.set_shedder(&shed);
+  const auto fire = [](int, Timestamp, const int&,
+                       const swa::WindowAggregate<long>&, bool) {};
+  lattice.add({5, 0, 1}, kMinTimestamp, fire);   // gap for query 1
+  lattice.add({11, 0, 1}, kMinTimestamp, fire);  // inside [10, 12)
+  EXPECT_EQ(shed.shed(), 2u);
+  EXPECT_EQ(lattice.shed_for_query(0), 2u);
+  EXPECT_EQ(lattice.shed_for_query(1), 1u);
+  EXPECT_EQ(lattice.open_panes(), 0u) << "refused tuples must not store";
+}
+
+TEST(LateProbe, StampsConfiguredQueryOnSampledEvents) {
+  LateProbe probe;
+  probe.set_query(7);
+  std::vector<LateEvent> seen;
+  probe.set([&](const LateEvent& e) { seen.push_back(e); }, /*every=*/1);
+  probe({.instance = 10, .tuple_ts = 3, .watermark = 20, .dropped = true});
+  probe({.instance = 14, .tuple_ts = 9, .watermark = 20, .dropped = false});
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].query, 7);
+  EXPECT_EQ(seen[1].query, 7);
+  EXPECT_TRUE(seen[0].dropped);
+  EXPECT_FALSE(seen[1].dropped);
+  EXPECT_EQ(probe.observed(), 2u);
 }
 
 }  // namespace
