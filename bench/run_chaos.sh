@@ -19,7 +19,8 @@ cmake -B "$BUILD" -S "$ROOT" -DAGGSPES_SANITIZE="$SANITIZE" \
 cmake --build "$BUILD" -j"$(nproc)" --target chaos_test swa_chaos_test \
       overload_test overload_chaos_test \
       input_log_test durable_source_test durable_chaos_test \
-      sharded_flow_test sharded_chaos_test
+      sharded_flow_test sharded_chaos_test \
+      checkpoint_store_test state_query_test async_checkpoint_chaos_test
 
 for i in $(seq 1 "$RUNS"); do
   echo "=== chaos sweep $i/$RUNS (sanitize=$SANITIZE) ==="
@@ -64,3 +65,20 @@ for i in $(seq 1 "$RUNS"); do
     2>&1 | tee -a "$SHARDED_LOG"
 done
 echo "sharded sweep transcript: $SHARDED_LOG"
+
+# MVCC sweep: the non-quiescent checkpoint path — durable atomic cut
+# commits, StateQuery reads off frozen epochs (a concurrent reader thread
+# makes this the suite TSan cares about most), and the kill matrix over
+# every checkpoint phase (freeze / serialize / commit / gc) plus its
+# durable, multi-query and sharded compositions. Which cuts the async
+# worker lands before a kill is thread-timing dependent, so repetition
+# covers both the previous-cut fallback and the resume-at-killed-cut
+# paths; the transcript lands in results/ like the other matrices.
+MVCC_LOG="$ROOT/results/chaos_mvcc_${SANITIZE}.txt"
+: >"$MVCC_LOG"
+for i in $(seq 1 "$RUNS"); do
+  echo "=== mvcc sweep $i/$RUNS (sanitize=$SANITIZE) ==="
+  ctest --test-dir "$BUILD" -L mvcc --output-on-failure -j"$(nproc)" \
+    2>&1 | tee -a "$MVCC_LOG"
+done
+echo "mvcc sweep transcript: $MVCC_LOG"

@@ -22,17 +22,18 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 "$BUILD/bench/bench_swa" --benchmark_format=json \
-    --benchmark_filter='-BM_OpLatency|BM_Ooo' \
+    --benchmark_filter='-BM_OpLatency|BM_Ooo|BM_CheckpointStall' \
     --benchmark_min_time="$MIN_TIME" >"$tmp/swa.json"
 "$BUILD/bench/bench_micro_core" --benchmark_format=json \
     --benchmark_min_time="$MIN_TIME" >"$tmp/micro.json"
 
-# The two PR-5 acceptance sections are measured with 5 repetitions and
-# read off the median aggregate: the per-op tail percentiles and the
-# reordered-throughput ratios move a few percent run to run, and one
-# median is more honest than the best of N cherry-picks.
+# The tail-sensitive acceptance sections (PR-5 per-op latency and ooo
+# ratios, PR-9 checkpoint-stall percentiles) are measured with 5
+# repetitions and read off the median aggregate: tail percentiles move a
+# few percent run to run, and one median is more honest than the best of
+# N cherry-picks.
 "$BUILD/bench/bench_swa" --benchmark_format=json \
-    --benchmark_filter='BM_OpLatency|BM_Ooo' \
+    --benchmark_filter='BM_OpLatency|BM_Ooo|BM_CheckpointStall' \
     --benchmark_min_time="$MIN_TIME" \
     --benchmark_repetitions=5 \
     --benchmark_report_aggregates_only=true >"$tmp/tails.json"
@@ -184,6 +185,46 @@ jq -s '
            0.8 * ctr($swa; "BM_SourceIngest_Plain"; "items_per_second"))
       }
     ),
+    # Non-quiescent checkpoints (DESIGN.md § 15): per-element ingest
+    # latency with a durably-committed cut every 16384 elements (an
+    # aggressive ~120 checkpoints/s at this element rate). The accept
+    # gate is the
+    # tentpole claim — ingest p999 with ASYNC (epoch-freeze + worker
+    # serialize) checkpoints stays within 2x the no-checkpoint baseline.
+    # cut_p50_ns isolates what the cut-triggering element itself pays:
+    # the full state encode plus the fsync-backed atomic commit when
+    # quiesced, only the O(panes) freeze + handoff when async — the
+    # stop-the-world stall the epoch/MVCC path removes from the ingest
+    # thread.
+    async_checkpoint: (
+      ("BM_CheckpointStall_None/iterations:524288") as $none |
+      ("BM_CheckpointStall_Quiesced/iterations:524288") as $quiesced |
+      ("BM_CheckpointStall_Async/iterations:524288") as $async |
+      {
+        cut_every_elements: 16384,
+        state_bytes: med($tails; $async; "state_bytes"),
+        no_checkpoint: {
+          ingest_p50_ns: med($tails; $none; "ingest_p50_ns"),
+          ingest_p999_ns: med($tails; $none; "ingest_p999_ns")
+        },
+        quiesced: {
+          ingest_p50_ns: med($tails; $quiesced; "ingest_p50_ns"),
+          ingest_p999_ns: med($tails; $quiesced; "ingest_p999_ns"),
+          cut_stall_p50_ns: med($tails; $quiesced; "cut_p50_ns")
+        },
+        async: {
+          ingest_p50_ns: med($tails; $async; "ingest_p50_ns"),
+          ingest_p999_ns: med($tails; $async; "ingest_p999_ns"),
+          cut_stall_p50_ns: med($tails; $async; "cut_p50_ns")
+        },
+        quiesced_over_async_cut_stall:
+          ((med($tails; $quiesced; "cut_p50_ns") /
+            med($tails; $async; "cut_p50_ns")) * 100 | round / 100),
+        accept_async_p999_le_2x_baseline:
+          (med($tails; $async; "ingest_p999_ns") <=
+           2 * med($tails; $none; "ingest_p999_ns"))
+      }
+    ),
     # Shard scaling (bench_sharded): the section arrives pre-computed —
     # ladder points per width, measured N=8/N=1 speedup, its >= 3.0x
     # accept flag, and the core count the flag must be read against.
@@ -200,7 +241,7 @@ jq -s '
 
 echo "wrote $OUT"
 jq '{speedup_vs_buffering, flow_speedup_monoid_vs_buffering, join_pane_memory,
-     worst_case_latency, ooo_tolerance, wal_overhead,
+     worst_case_latency, ooo_tolerance, wal_overhead, async_checkpoint,
      shard_scaling: (.shard_scaling
                      | {cores, speedup_n8_vs_n1, accept_n8_ge_3x}),
      multiquery_sharing: (.multiquery_sharing

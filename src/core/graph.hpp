@@ -18,16 +18,16 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "core/recovery/fault_injection.hpp"
 #include "core/recovery/snapshot.hpp"
 #include "core/types.hpp"
 
 namespace aggspes {
-
-class FaultInjector;
 
 /// Receiving side of a stream of `Element<T>`.
 template <typename T>
@@ -116,10 +116,13 @@ class NodeBase {
 
   /// Node-side fault arming: ThreadedFlow::install_faults hands every node
   /// the injector and its add()-order index. Channels cover the delivery
-  /// path; nodes with their own fault surface (DurableSource's WAL append
-  /// path) override this. Default: ignore.
-  virtual void arm_faults(FaultInjector* /*injector*/,
-                          std::size_t /*node_index*/) {}
+  /// path; the base keeps the injector so barrier completion can consult
+  /// the checkpoint kill matrix (freeze phase). Nodes with their own fault
+  /// surface (DurableSource's WAL append path) override and chain up.
+  virtual void arm_faults(FaultInjector* injector,
+                          std::size_t /*node_index*/) {
+    faults_ = injector;
+  }
 
   /// Binds this node to a checkpoint recorder under a stable index
   /// (ThreadedFlow add() order, reproducible across rebuilds).
@@ -127,6 +130,11 @@ class NodeBase {
     recorder_ = recorder;
     node_index_ = index;
   }
+
+  /// Attaches (or with nullptr detaches) the asynchronous snapshot
+  /// executor; barrier completion then routes serialization and the
+  /// store's durable commit off this node's thread.
+  void bind_async(SnapshotExecutor* executor) { executor_ = executor; }
 
   /// Barriers completed by this node so far. Channels that delivered a
   /// marker hold further deliveries until this advances past the marker
@@ -137,30 +145,81 @@ class NodeBase {
   }
 
  protected:
+  bool async_enabled() const { return executor_ != nullptr; }
+
+  /// Nodes with MVCC-versioned state override this to freeze an epoch at
+  /// barrier time and return the deferred serialize/GC work; the default
+  /// (nullopt) makes complete_barrier fall back to synchronous
+  /// snapshot_to. A node may return nullopt even with an executor bound —
+  /// its *bytes* are then still committed off-thread, only produced
+  /// inline (freeze unsupported ≠ commit stall).
+  virtual std::optional<FrozenJob> freeze_snapshot(std::uint64_t /*id*/) {
+    return std::nullopt;
+  }
+
   /// Records this node's state for checkpoint `id` (if a recorder is
   /// bound) and releases channels held for alignment.
-  void complete_barrier(std::uint64_t id) {
-    if (recorder_ != nullptr) {
-      SnapshotWriter w;
-      snapshot_to(w);
-      recorder_->record(node_index_, id, w.take());
-    }
-    barriers_done_.fetch_add(1, std::memory_order_acq_rel);
-  }
+  void complete_barrier(std::uint64_t id) { finish_barrier(id, std::nullopt); }
 
   /// complete_barrier variant for nodes whose checkpoint state is not
   /// "current state at completion time" — e.g. the loop head, which stages
   /// its state when the marker arrives and appends the loop channel's
   /// in-flight tuples before completing.
   void complete_barrier_with(std::uint64_t id, SnapshotWriter::Bytes bytes) {
-    if (recorder_ != nullptr) {
-      recorder_->record(node_index_, id, std::move(bytes));
+    finish_barrier(id, std::move(bytes));
+  }
+
+ private:
+  /// The single barrier-completion path. Order matters: the freeze-phase
+  /// fault fires before any state is captured (a kill here leaves
+  /// checkpoint `id` forever incomplete at this node — the cut can never
+  /// commit, so restore falls back to the previous one); the barrier
+  /// counter advances only after the job is handed off, so alignment
+  /// holds until the freeze (or sync serialize) is done.
+  void finish_barrier(std::uint64_t id,
+                      std::optional<SnapshotWriter::Bytes> staged) {
+    if (faults_ != nullptr &&
+        faults_->on_checkpoint(id, CheckpointPhase::kFreeze) != nullptr) {
+      throw CrashInjected("kill at epoch freeze of checkpoint " +
+                          std::to_string(id));
+    }
+    std::optional<FrozenJob> job;
+    if (staged.has_value()) {
+      if (recorder_ != nullptr) {
+        FrozenJob j;
+        j.serialize = [b = std::move(*staged)]() mutable {
+          return std::move(b);
+        };
+        job = std::move(j);
+      }
+    } else {
+      // Freeze even without a recorder: StateQuery hubs are fed from the
+      // frozen epoch regardless of whether checkpoints are recorded.
+      job = freeze_snapshot(id);
+      if (!job.has_value() && recorder_ != nullptr) {
+        SnapshotWriter w;
+        snapshot_to(w);
+        FrozenJob j;
+        j.serialize = [b = w.take()]() mutable { return std::move(b); };
+        job = std::move(j);
+      }
+    }
+    if (job.has_value()) {
+      if (recorder_ != nullptr && executor_ != nullptr) {
+        executor_->submit(recorder_, node_index_, id, std::move(*job));
+      } else {
+        if (recorder_ != nullptr) {
+          recorder_->record(node_index_, id, job->serialize());
+        }
+        if (job->post) job->post();
+      }
     }
     barriers_done_.fetch_add(1, std::memory_order_acq_rel);
   }
 
- private:
+  FaultInjector* faults_{nullptr};
   CheckpointRecorder* recorder_{nullptr};
+  SnapshotExecutor* executor_{nullptr};
   std::size_t node_index_{0};
   std::atomic<std::uint64_t> barriers_done_{0};
 };

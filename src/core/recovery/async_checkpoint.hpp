@@ -1,0 +1,192 @@
+// The asynchronous checkpoint worker (DESIGN.md § 15): one background
+// thread that serializes frozen epochs and commits them to the store,
+// keeping fsync latency and snapshot encoding entirely off the node
+// threads. Nodes submit FrozenJobs at barrier completion (the freeze —
+// an O(panes) shared_ptr copy — is the only work left on the hot path);
+// the worker then runs serialize → record (the store's durable commit) →
+// post (epoch unpin + retired-version GC) in submission order, which
+// preserves per-node checkpoint-id ordering since each node submits its
+// barriers in order.
+//
+// Crash-anytime semantics: the kill matrix injects CrashInjected at the
+// serialize phase here (freeze faults fire in the node, commit/GC faults
+// inside the store and the post hooks). A worker-side failure models the
+// whole process dying mid-checkpoint, so the worker discards every queued
+// job — the in-flight cut is lost, exactly as a real kill would lose it —
+// and reports through the fatal handler, which the supervisor wires to
+// abort the flow and restart from the last *complete* cut. The failure
+// also *poisons* the checkpointer: submissions posted while the dying
+// flow drains are discarded too, so the failed attempt can never durably
+// commit a cut past the one the kill lost (which would defeat the
+// fall-back-to-previous-cut guarantee). begin_attempt() — called when the
+// next attempt's flow attaches — lifts the poison. The worker thread
+// itself survives (it is the part of the "process" the test harness
+// keeps), ready for that next attempt.
+//
+// Lifetime: job closures reference node state (frozen pane versions hold
+// a const Policy*), so ThreadedFlow::run drains this executor after its
+// threads join and before the flow — and its nodes — are destroyed.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "core/recovery/fault_injection.hpp"
+#include "core/recovery/snapshot.hpp"
+
+namespace aggspes {
+
+class AsyncCheckpointer final : public SnapshotExecutor {
+ public:
+  AsyncCheckpointer() : worker_([this] { loop(); }) {}
+
+  ~AsyncCheckpointer() override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+  AsyncCheckpointer(const AsyncCheckpointer&) = delete;
+  AsyncCheckpointer& operator=(const AsyncCheckpointer&) = delete;
+
+  /// Serialize-phase faults ride the same injector as everything else;
+  /// nullptr disarms.
+  void arm_faults(FaultInjector* injector) {
+    std::lock_guard<std::mutex> lk(mu_);
+    faults_ = injector;
+  }
+
+  /// Called (from the worker thread) when a checkpoint-path failure kills
+  /// the in-flight cut; the supervisor wires this to abort the current
+  /// flow so the restart loop takes over.
+  void set_fatal_handler(std::function<void(const std::string&)> h) {
+    std::lock_guard<std::mutex> lk(mu_);
+    fatal_ = std::move(h);
+  }
+
+  void submit(CheckpointRecorder* recorder, std::size_t node_index,
+              std::uint64_t checkpoint_id, FrozenJob job) override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++submitted_;
+      if (poisoned_) {
+        // A checkpoint-path failure already killed this attempt; jobs the
+        // draining flow still posts die with it (dropping the job releases
+        // its frozen epoch via the shared_ptr deleter).
+        ++discarded_;
+        return;
+      }
+      queue_.push_back(
+          {recorder, node_index, checkpoint_id, std::move(job)});
+    }
+    cv_.notify_all();
+  }
+
+  /// A new flow attempt is attaching: lift the poison from a previous
+  /// attempt's fatal so its cuts flow again.
+  void begin_attempt() override {
+    std::lock_guard<std::mutex> lk(mu_);
+    poisoned_ = false;
+  }
+
+  void drain() override {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [this] { return queue_.empty() && !busy_; });
+  }
+
+  std::uint64_t submitted() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return submitted_;
+  }
+  std::uint64_t completed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return completed_;
+  }
+  /// Jobs killed by a checkpoint-path failure: the failing one, every
+  /// queued job it took down with it, and any submission posted while
+  /// poisoned (before the next attempt attached).
+  std::uint64_t discarded() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return discarded_;
+  }
+
+ private:
+  struct Job {
+    CheckpointRecorder* recorder;
+    std::size_t node_index;
+    std::uint64_t checkpoint_id;
+    FrozenJob job;
+  };
+
+  void loop() {
+    for (;;) {
+      Job j;
+      FaultInjector* faults = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ with nothing left
+        j = std::move(queue_.front());
+        queue_.pop_front();
+        busy_ = true;
+        faults = faults_;
+      }
+      std::function<void(const std::string&)> report;
+      std::string failure;
+      try {
+        if (faults != nullptr &&
+            faults->on_checkpoint(j.checkpoint_id,
+                                  CheckpointPhase::kSerialize) != nullptr) {
+          throw CrashInjected("kill during serialize of checkpoint " +
+                              std::to_string(j.checkpoint_id));
+        }
+        SnapshotWriter::Bytes bytes = j.job.serialize();
+        j.recorder->record(j.node_index, j.checkpoint_id, std::move(bytes));
+        if (j.job.post) j.job.post();
+        std::lock_guard<std::mutex> lk(mu_);
+        ++completed_;
+      } catch (const std::exception& ex) {
+        failure = ex.what();
+        std::lock_guard<std::mutex> lk(mu_);
+        // The "process" died mid-checkpoint: every queued contribution of
+        // the in-flight cut dies with it, and the poison keeps jobs posted
+        // by the still-draining flow from committing past the lost cut.
+        discarded_ += 1 + queue_.size();
+        queue_.clear();
+        poisoned_ = true;
+        report = fatal_;
+      }
+      if (!failure.empty() && report) report(failure);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        busy_ = false;
+      }
+      idle_cv_.notify_all();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Job> queue_;
+  bool stop_{false};
+  bool busy_{false};
+  bool poisoned_{false};  ///< fatal seen; discard until begin_attempt()
+  FaultInjector* faults_{nullptr};
+  std::function<void(const std::string&)> fatal_;
+  std::uint64_t submitted_{0};
+  std::uint64_t completed_{0};
+  std::uint64_t discarded_{0};
+  std::thread worker_;  ///< last member: starts after everything above
+};
+
+}  // namespace aggspes

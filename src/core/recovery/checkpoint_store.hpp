@@ -1,4 +1,4 @@
-// In-memory checkpoint store: collects per-node state snapshots keyed by
+// Checkpoint store: collects per-node state snapshots keyed by
 // (checkpoint id, node index) and tracks which checkpoint ids are
 // *complete* — every node of the graph recorded its state for that id.
 // Only complete checkpoints are restore candidates: an incomplete one
@@ -6,25 +6,79 @@
 // before emitting the id) would restore some nodes to a cut the others
 // never reached.
 //
-// Thread safety: nodes record from their own worker threads; restores and
-// queries happen between runs on the supervisor thread. A single mutex
-// suffices — recording is rare (once per node per checkpoint).
+// Durability (DESIGN.md § 15): persist_to(dir) makes completed cuts
+// crash-safe. Each cut is one file, committed atomically — temp file,
+// fsync, rename to the final name, directory fsync — with a CRC-framed
+// payload, and latest_complete_ advances only *after* the file is durable.
+// A crash at any point of the commit therefore leaves either the previous
+// cut (temp file ignored on scan, torn final file skipped by CRC) or the
+// new one; never a half-cut. The scan on persist_to skips — does not load,
+// does not delete — torn and partial files: a later re-commit of the same
+// id renames over them (self-healing), and keeping them around preserves
+// the forensic state chaos tests assert on.
+//
+// Fault surface: the commit path consults the injector at
+// CheckpointPhase::kCommit (kill before rename → only a temp remains;
+// kTornCheckpoint → a truncated file lands at the *final* name, the
+// worst-case torn write) and at kGc (kill before file pruning — the cut
+// is already durable, so restore resumes from the NEW id). Both throw
+// CrashInjected out of record(), which the node thread or the async
+// worker surfaces like any other injected crash.
+//
+// Thread safety: nodes record from their own worker threads (or the async
+// checkpoint worker); restores and queries happen between runs on the
+// supervisor thread. A single mutex suffices — recording is rare (once
+// per node per checkpoint). Holding it across the commit fsync is the
+// quiesced cost the async executor exists to hide.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/recovery/fault_injection.hpp"
+#include "core/recovery/input_log.hpp"  // crc32_ieee
 #include "core/recovery/snapshot.hpp"
 
 namespace aggspes {
 
+/// Thrown on unrecoverable checkpoint I/O failures (open/write/fsync/
+/// rename errors — *not* torn files, which are skipped, not thrown).
+class CheckpointIoError : public std::runtime_error {
+ public:
+  explicit CheckpointIoError(const std::string& what)
+      : std::runtime_error("checkpoint-store: " + what) {}
+};
+
 class CheckpointStore final : public CheckpointRecorder {
  public:
   using Bytes = SnapshotWriter::Bytes;
+
+  /// Cut file: [magic u32][version u32][crc u32][payload_len u64] then the
+  /// payload: [id u64][n u64] + n × ([node u64][len u64][bytes]). The CRC
+  /// covers the payload, so a zeroed or half-written header fails too.
+  static constexpr std::uint32_t kMagic = 0x414B5043u;  // "CPKA"
+  static constexpr std::uint32_t kFileVersion = 1;
+  static constexpr std::size_t kHeaderSize = 20;
+  /// Durable cuts retained on disk beyond the latest: the fallback the
+  /// supervisor degrades to when the in-flight cut is torn.
+  static constexpr std::size_t kDiskCutsKept = 2;
+
+  CheckpointStore() = default;
 
   /// Number of nodes that must record before an id counts as complete.
   /// Called by ThreadedFlow::enable_checkpoints; idempotent across restart
@@ -47,6 +101,45 @@ class CheckpointStore final : public CheckpointRecorder {
     }
   }
 
+  /// Makes completed cuts durable under `dir` (created if absent) and
+  /// loads every valid cut already there — the process-restart entry
+  /// point: a fresh store pointed at the same directory resumes from the
+  /// newest fully-committed cut. Torn or partial files are counted in
+  /// torn_skipped() and left in place; `*.tmp` leftovers are ignored.
+  void persist_to(const std::filesystem::path& dir) {
+    std::lock_guard<std::mutex> lk(mu_);
+    dir_ = dir;
+    std::filesystem::create_directories(dir_);
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      if (!entry.is_regular_file()) continue;
+      const std::optional<std::uint64_t> id =
+          parse_cut_filename(entry.path().filename().string());
+      if (!id) continue;  // foreign file or *.tmp leftover
+      std::unordered_map<std::size_t, Bytes> per_node;
+      if (!read_cut_file(entry.path(), *id, per_node)) {
+        ++torn_skipped_;
+        continue;
+      }
+      records_[*id] = std::move(per_node);
+      disk_ids_.insert(*id);
+      if (!latest_complete_ || *id > *latest_complete_) {
+        latest_complete_ = *id;
+      }
+    }
+    // Only the restore candidate and its fallbacks matter in memory;
+    // records_ mirrors what restore_latest may read.
+    if (latest_complete_) {
+      records_.erase(records_.begin(), records_.find(*latest_complete_));
+    }
+  }
+
+  /// Commit-path faults ride the same injector as everything else;
+  /// nullptr disarms.
+  void arm_faults(FaultInjector* injector) {
+    std::lock_guard<std::mutex> lk(mu_);
+    faults_ = injector;
+  }
+
   void record(std::size_t node_index, std::uint64_t checkpoint_id,
               Bytes state) override {
     std::lock_guard<std::mutex> lk(mu_);
@@ -64,12 +157,18 @@ class CheckpointStore final : public CheckpointRecorder {
     ++records_taken_;
     if (expected_ != 0 && per_node.size() == expected_ &&
         (!latest_complete_ || checkpoint_id > *latest_complete_)) {
+      // Durable-first: the cut becomes the restore candidate only once
+      // its file is fully committed. commit_cut throws on injected (or
+      // real) commit failures, leaving latest_complete_ at the previous
+      // cut — the fallback invariant the chaos matrix asserts.
+      if (!dir_.empty()) commit_cut(checkpoint_id, per_node);
       latest_complete_ = checkpoint_id;
       // GC: ids superseded by the new frontier can never be restored
       // (restore_latest only ever reads the latest complete id); prune
       // them so the store's footprint is bounded by the in-flight window,
       // not by run length.
       records_.erase(records_.begin(), records_.find(checkpoint_id));
+      if (!dir_.empty()) gc_files(checkpoint_id);
     }
   }
 
@@ -103,6 +202,18 @@ class CheckpointStore final : public CheckpointRecorder {
     return stale_dropped_;
   }
 
+  /// Torn/partial cut files skipped (not loaded) by persist_to's scan.
+  std::uint64_t torn_skipped() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return torn_skipped_;
+  }
+
+  /// Cut files durably committed (diagnostics).
+  std::uint64_t cuts_committed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return cuts_committed_;
+  }
+
   /// Checkpoint ids currently held (complete or in flight), ascending.
   /// After GC the lowest held id is always >= latest_complete().
   std::vector<std::uint64_t> ids_held() const {
@@ -113,6 +224,12 @@ class CheckpointStore final : public CheckpointRecorder {
     return ids;
   }
 
+  /// Cut ids currently durable on disk, ascending (empty when in-memory).
+  std::vector<std::uint64_t> disk_ids() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return {disk_ids_.begin(), disk_ids_.end()};
+  }
+
   void clear() {
     std::lock_guard<std::mutex> lk(mu_);
     records_.clear();
@@ -121,13 +238,245 @@ class CheckpointStore final : public CheckpointRecorder {
     stale_dropped_ = 0;
   }
 
+  static std::string cut_filename(std::uint64_t id) {
+    std::string digits = std::to_string(id);
+    return "checkpoint-" + std::string(20 - digits.size(), '0') + digits +
+           ".ckpt";
+  }
+
  private:
+  /// checkpoint-<20 digits>.ckpt → id; nullopt for anything else.
+  static std::optional<std::uint64_t> parse_cut_filename(
+      const std::string& name) {
+    constexpr const char* kPrefix = "checkpoint-";
+    constexpr const char* kSuffix = ".ckpt";
+    constexpr std::size_t kDigits = 20;
+    const std::size_t plen = std::strlen(kPrefix);
+    const std::size_t slen = std::strlen(kSuffix);
+    if (name.size() != plen + kDigits + slen) return std::nullopt;
+    if (name.compare(0, plen, kPrefix) != 0) return std::nullopt;
+    if (name.compare(plen + kDigits, slen, kSuffix) != 0) return std::nullopt;
+    std::uint64_t id = 0;
+    for (std::size_t i = plen; i < plen + kDigits; ++i) {
+      if (name[i] < '0' || name[i] > '9') return std::nullopt;
+      id = id * 10 + static_cast<std::uint64_t>(name[i] - '0');
+    }
+    return id;
+  }
+
+  static void append_u64(Bytes& b, std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    b.insert(b.end(), p, p + sizeof(v));
+  }
+
+  static Bytes encode_payload(
+      std::uint64_t id,
+      const std::unordered_map<std::size_t, Bytes>& per_node) {
+    // Deterministic node order so a cut's bytes are reproducible.
+    std::map<std::size_t, const Bytes*> ordered;
+    for (const auto& [node, bytes] : per_node) ordered[node] = &bytes;
+    Bytes payload;
+    append_u64(payload, id);
+    append_u64(payload, static_cast<std::uint64_t>(ordered.size()));
+    for (const auto& [node, bytes] : ordered) {
+      append_u64(payload, static_cast<std::uint64_t>(node));
+      append_u64(payload, static_cast<std::uint64_t>(bytes->size()));
+      payload.insert(payload.end(), bytes->begin(), bytes->end());
+    }
+    return payload;
+  }
+
+  static Bytes encode_file(const Bytes& payload) {
+    Bytes file;
+    file.reserve(kHeaderSize + payload.size());
+    const std::uint32_t magic = kMagic;
+    const std::uint32_t version = kFileVersion;
+    const std::uint32_t crc = crc32_ieee(payload.data(), payload.size());
+    const std::uint64_t len = payload.size();
+    const auto put = [&file](const void* p, std::size_t n) {
+      const auto* b = static_cast<const std::uint8_t*>(p);
+      file.insert(file.end(), b, b + n);
+    };
+    put(&magic, sizeof(magic));
+    put(&version, sizeof(version));
+    put(&crc, sizeof(crc));
+    put(&len, sizeof(len));
+    put(payload.data(), payload.size());
+    return file;
+  }
+
+  static void write_file_sync(const std::filesystem::path& path,
+                              const Bytes& bytes) {
+    const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0) {
+      throw CheckpointIoError("open " + path.string() + ": " +
+                              std::strerror(errno));
+    }
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        throw CheckpointIoError("write " + path.string() + ": " +
+                                std::strerror(err));
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw CheckpointIoError("fsync " + path.string() + ": " +
+                              std::strerror(err));
+    }
+    ::close(fd);
+  }
+
+  void fsync_dir() const {
+    const int fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+      throw CheckpointIoError("open dir " + dir_.string() + ": " +
+                              std::strerror(errno));
+    }
+    if (::fsync(fd) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw CheckpointIoError("fsync dir " + dir_.string() + ": " +
+                              std::strerror(err));
+    }
+    ::close(fd);
+  }
+
+  /// Atomic durable commit of one complete cut. Caller holds mu_.
+  void commit_cut(std::uint64_t id,
+                  const std::unordered_map<std::size_t, Bytes>& per_node) {
+    const Bytes file = encode_file(encode_payload(id, per_node));
+    const std::filesystem::path final_path = dir_ / cut_filename(id);
+    const std::filesystem::path tmp_path =
+        dir_ / (cut_filename(id) + ".tmp");
+    const FaultEvent* fault =
+        faults_ != nullptr
+            ? faults_->on_checkpoint(id, CheckpointPhase::kCommit)
+            : nullptr;
+    if (fault != nullptr && fault->kind == FaultKind::kTornCheckpoint) {
+      // Worst-case torn commit: a truncated file at the *final* name
+      // (models a non-atomic writer or post-rename media corruption).
+      // The scan must skip it by CRC and fall back to the previous cut.
+      Bytes torn(file.begin(),
+                 file.begin() +
+                     static_cast<std::ptrdiff_t>(
+                         kHeaderSize + (file.size() - kHeaderSize) / 2));
+      write_file_sync(final_path, torn);
+      throw CrashInjected("torn commit of checkpoint " + std::to_string(id));
+    }
+    write_file_sync(tmp_path, file);
+    if (fault != nullptr) {
+      // Killed after the temp write, before the rename: the final name
+      // never appears, the *.tmp leftover is ignored on scan.
+      throw CrashInjected("kill during commit of checkpoint " +
+                          std::to_string(id));
+    }
+    if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+      throw CheckpointIoError("rename " + tmp_path.string() + ": " +
+                              std::strerror(errno));
+    }
+    fsync_dir();
+    disk_ids_.insert(id);
+    ++cuts_committed_;
+  }
+
+  /// Prunes durable cuts superseded beyond the fallback window. Caller
+  /// holds mu_. The kGc kill lands *after* the new cut committed, so a
+  /// restore after it resumes from the new id — the chaos matrix asserts
+  /// exactly that asymmetry vs the pre-commit phases.
+  void gc_files(std::uint64_t id) {
+    if (faults_ != nullptr &&
+        faults_->on_checkpoint(id, CheckpointPhase::kGc) != nullptr) {
+      throw CrashInjected("kill during GC of checkpoint " +
+                          std::to_string(id));
+    }
+    while (disk_ids_.size() > kDiskCutsKept) {
+      const std::uint64_t victim = *disk_ids_.begin();
+      std::error_code ec;  // best-effort: a missing file is already gone
+      std::filesystem::remove(dir_ / cut_filename(victim), ec);
+      disk_ids_.erase(disk_ids_.begin());
+    }
+  }
+
+  /// Loads one cut file; false (not an exception) on any structural or
+  /// CRC failure — torn files are an expected crash artifact.
+  static bool read_cut_file(const std::filesystem::path& path,
+                            std::uint64_t expect_id,
+                            std::unordered_map<std::size_t, Bytes>& out) {
+    std::error_code ec;
+    const auto fsize = std::filesystem::file_size(path, ec);
+    if (ec || fsize < kHeaderSize) return false;
+    Bytes raw(static_cast<std::size_t>(fsize));
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return false;
+    std::size_t off = 0;
+    while (off < raw.size()) {
+      const ssize_t n = ::read(fd, raw.data() + off, raw.size() - off);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ::close(fd);
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    std::uint32_t crc = 0;
+    std::uint64_t len = 0;
+    std::memcpy(&magic, raw.data(), 4);
+    std::memcpy(&version, raw.data() + 4, 4);
+    std::memcpy(&crc, raw.data() + 8, 4);
+    std::memcpy(&len, raw.data() + 12, 8);
+    if (magic != kMagic || version != kFileVersion) return false;
+    if (len != raw.size() - kHeaderSize) return false;
+    const std::uint8_t* payload = raw.data() + kHeaderSize;
+    if (crc32_ieee(payload, static_cast<std::size_t>(len)) != crc) {
+      return false;
+    }
+    std::size_t pos = 0;
+    const auto take_u64 = [&](std::uint64_t& v) {
+      if (pos + 8 > len) return false;
+      std::memcpy(&v, payload + pos, 8);
+      pos += 8;
+      return true;
+    };
+    std::uint64_t id = 0;
+    std::uint64_t n_nodes = 0;
+    if (!take_u64(id) || id != expect_id) return false;
+    if (!take_u64(n_nodes)) return false;
+    std::unordered_map<std::size_t, Bytes> per_node;
+    for (std::uint64_t i = 0; i < n_nodes; ++i) {
+      std::uint64_t node = 0;
+      std::uint64_t blen = 0;
+      if (!take_u64(node) || !take_u64(blen)) return false;
+      if (pos + blen > len) return false;
+      per_node[static_cast<std::size_t>(node)] =
+          Bytes(payload + pos, payload + pos + blen);
+      pos += static_cast<std::size_t>(blen);
+    }
+    if (pos != len) return false;
+    out = std::move(per_node);
+    return true;
+  }
+
   mutable std::mutex mu_;
   std::size_t expected_{0};
   std::map<std::uint64_t, std::unordered_map<std::size_t, Bytes>> records_;
   std::optional<std::uint64_t> latest_complete_;
   std::uint64_t records_taken_{0};
   std::uint64_t stale_dropped_{0};
+  std::uint64_t torn_skipped_{0};
+  std::uint64_t cuts_committed_{0};
+  std::filesystem::path dir_;      ///< empty = in-memory only
+  std::set<std::uint64_t> disk_ids_;
+  FaultInjector* faults_{nullptr};
 };
 
 }  // namespace aggspes

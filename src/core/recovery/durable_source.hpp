@@ -126,10 +126,12 @@ class DurableSource final : public NodeBase {
   /// Elements re-emitted from WAL bytes (not the script) this run.
   std::uint64_t replayed() const { return replayed_; }
 
-  /// ThreadedFlow::install_faults arms every node; the durable source is
-  /// the only one that listens — kKillDuringAppend / kTornWrite fire in
-  /// its append path.
+  /// ThreadedFlow::install_faults arms every node; the durable source
+  /// additionally listens for kKillDuringAppend / kTornWrite in its
+  /// append path. Chaining up keeps the barrier path's freeze-phase
+  /// faults (kKillDuringCheckpoint) armed here too.
   void arm_faults(FaultInjector* injector, std::size_t node_index) override {
+    NodeBase::arm_faults(injector, node_index);
     faults_ = injector;
     fault_node_ = node_index;
   }

@@ -79,7 +79,46 @@ enum class FaultKind : std::uint8_t {
   //                       CRC and truncate.
   kKillDuringAppend,
   kTornWrite,
+  // Checkpoint-path faults (async-checkpoint pipeline, not channel-side).
+  // Appended after kTornWrite so seed-derived schedules (`rng() % 5`) are
+  // untouched; these fire only via explicit add_event (the async-
+  // checkpoint kill matrix). For both, `edge` names the *checkpoint
+  // phase* (CheckpointPhase's integer value) and `at_delivery` the
+  // checkpoint id (1-based, sequential — the marker numbering).
+  //  * KillDuringCheckpoint — the process dies inside the named phase:
+  //                           at kFreeze the node crashes before cutting
+  //                           its epoch, at kSerialize the snapshot worker
+  //                           dies mid-encode, at kCommit the store dies
+  //                           after staging the temp file but before the
+  //                           rename, at kGc after the cut committed but
+  //                           mid-collection.
+  //  * TornCheckpoint       — commit-phase only: a truncated cut file is
+  //                           left at the *final* name (power loss after
+  //                           an unsynced rename); the reopened store must
+  //                           reject it by CRC/length and fall back to the
+  //                           previous complete cut.
+  kKillDuringCheckpoint,
+  kTornCheckpoint,
 };
+
+/// Phases of one asynchronous checkpoint, in pipeline order. The integer
+/// values are the `edge` field of checkpoint-path fault events.
+enum class CheckpointPhase : std::uint8_t {
+  kFreeze = 0,     ///< node cuts its epoch at barrier completion
+  kSerialize = 1,  ///< snapshot worker encodes the frozen state
+  kCommit = 2,     ///< store writes temp + fsync + rename + dir fsync
+  kGc = 3,         ///< retired-version collect + old cut-file pruning
+};
+
+inline const char* checkpoint_phase_name(CheckpointPhase p) {
+  switch (p) {
+    case CheckpointPhase::kFreeze: return "freeze";
+    case CheckpointPhase::kSerialize: return "serialize";
+    case CheckpointPhase::kCommit: return "commit";
+    case CheckpointPhase::kGc: return "gc";
+  }
+  return "?";
+}
 
 inline const char* fault_kind_name(FaultKind k) {
   switch (k) {
@@ -92,6 +131,8 @@ inline const char* fault_kind_name(FaultKind k) {
     case FaultKind::kSaturate: return "saturate";
     case FaultKind::kKillDuringAppend: return "kill-during-append";
     case FaultKind::kTornWrite: return "torn-write";
+    case FaultKind::kKillDuringCheckpoint: return "kill-during-checkpoint";
+    case FaultKind::kTornCheckpoint: return "torn-checkpoint";
   }
   return "?";
 }
@@ -190,6 +231,10 @@ class FaultInjector {
           e.kind == FaultKind::kTornWrite) {
         continue;  // append-path kinds: `edge` is a node index (on_append)
       }
+      if (e.kind == FaultKind::kKillDuringCheckpoint ||
+          e.kind == FaultKind::kTornCheckpoint) {
+        continue;  // checkpoint kinds: `edge` is a phase (on_checkpoint)
+      }
       if (e.kind == FaultKind::kSlowConsumer) {
         // The only ranged kind: slows a whole run of deliveries.
         if (delivery >= e.at_delivery &&
@@ -216,6 +261,29 @@ class FaultInjector {
       if ((e.kind == FaultKind::kKillDuringAppend ||
            e.kind == FaultKind::kTornWrite) &&
           e.at_delivery == append_no) {
+        return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Checkpoint-path fault scheduled for checkpoint `checkpoint_id` at
+  /// pipeline phase `phase` in the current attempt, if any. Consulted by
+  /// NodeBase::complete_barrier (kFreeze), the async snapshot worker
+  /// (kSerialize), CheckpointStore's durable commit (kCommit) and the
+  /// post-commit GC hooks (kGc). Only the checkpoint kinds match here —
+  /// their `edge` field is a phase index, disjoint from channel and
+  /// append events by kind.
+  const FaultEvent* on_checkpoint(std::uint64_t checkpoint_id,
+                                  CheckpointPhase phase) const {
+    for (const FaultEvent& e : events_) {
+      if (e.attempt != attempt_) continue;
+      if (e.kind != FaultKind::kKillDuringCheckpoint &&
+          e.kind != FaultKind::kTornCheckpoint) {
+        continue;
+      }
+      if (e.edge == static_cast<std::size_t>(phase) &&
+          e.at_delivery == checkpoint_id) {
         return &e;
       }
     }

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -222,6 +223,36 @@ class CheckpointRecorder {
   virtual ~CheckpointRecorder() = default;
   virtual void record(std::size_t node_index, std::uint64_t checkpoint_id,
                       SnapshotWriter::Bytes state) = 0;
+};
+
+/// One node's contribution to an asynchronous checkpoint, produced by
+/// NodeBase::freeze_snapshot at barrier time. `serialize` encodes the
+/// frozen epoch (safe to run off the node's thread — the freeze already
+/// detached it from live mutation); `post` runs after the bytes are
+/// recorded: epoch unpin + retired-version GC. The chaos matrix's GC
+/// kill fires inside the store's record() (after the durable commit),
+/// not here — post itself is fault-free.
+struct FrozenJob {
+  std::function<SnapshotWriter::Bytes()> serialize;
+  std::function<void()> post;
+};
+
+/// Executes snapshot jobs off the barrier path. Implemented by
+/// AsyncCheckpointer (background worker thread); declared here so the
+/// graph layer need not depend on the recovery runtime.
+class SnapshotExecutor {
+ public:
+  virtual ~SnapshotExecutor() = default;
+  virtual void submit(CheckpointRecorder* recorder, std::size_t node_index,
+                      std::uint64_t checkpoint_id, FrozenJob job) = 0;
+  /// Blocks until every submitted job has been recorded (or discarded by
+  /// a fatal checkpoint-path failure).
+  virtual void drain() = 0;
+  /// Called when the executor is attached to a (new) flow attempt. Lets a
+  /// stateful executor shed failure state from a previous attempt — the
+  /// AsyncCheckpointer un-poisons itself here so a fatal in attempt N
+  /// cannot silently swallow attempt N+1's cuts.
+  virtual void begin_attempt() {}
 };
 
 }  // namespace aggspes

@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/recovery/async_checkpoint.hpp"
 #include "core/recovery/checkpoint_store.hpp"
 #include "core/recovery/fault_injection.hpp"
 #include "core/recovery/input_log.hpp"
@@ -61,6 +62,12 @@ struct RecoveryOptions {
   /// logs must outlive run_with_recovery; they are the state that survives
   /// the rebuilds.
   std::vector<InputLog*> retain_wals;
+  /// Asynchronous snapshot executor: when set, every attempt's flow hands
+  /// barrier serialization + the store's durable commit to this worker
+  /// instead of blocking node threads, and a checkpoint-path failure
+  /// aborts the attempt (via the fatal handler) so the loop restarts from
+  /// the last complete cut. Must outlive run_with_recovery.
+  AsyncCheckpointer* checkpointer{nullptr};
 };
 
 /// One line of the restart timeline.
@@ -150,17 +157,36 @@ RecoveryReport run_with_recovery(BuildFn&& build, CheckpointStore& store,
     auto flow = std::make_unique<ThreadedFlow>();
     build(*flow);
     flow->enable_checkpoints(store);
+    if (opts.checkpointer != nullptr) {
+      // Fatal handler captures the raw flow: safe because run() drains the
+      // executor before returning, so no job (and no handler call) can
+      // outlive the attempt's flow.
+      opts.checkpointer->set_fatal_handler(
+          [f = flow.get()](const std::string& what) { f->fail_flow(what); });
+      flow->attach_async(opts.checkpointer);
+    }
     std::optional<std::uint64_t> resumed;
     if (attempt > 0) resumed = flow->restore_latest(store);
     line.resumed_from = resumed;
     if (faults != nullptr) {
       faults->begin_attempt(attempt);
       flow->install_faults(*faults);
+      store.arm_faults(faults);
+      if (opts.checkpointer != nullptr) opts.checkpointer->arm_faults(faults);
     }
     const auto started = std::chrono::steady_clock::now();
+    // The attempt's flow dies with this scope; the handler must not
+    // outlive it (run() drains the executor, so it cannot fire later —
+    // this just removes the dangling pointer).
+    const auto disarm = [&] {
+      if (opts.checkpointer != nullptr) {
+        opts.checkpointer->set_fatal_handler({});
+      }
+    };
     try {
       flow->run(opts.run);
       retain();
+      disarm();
       line.succeeded = true;
       line.elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - started);
@@ -178,6 +204,7 @@ RecoveryReport run_with_recovery(BuildFn&& build, CheckpointStore& store,
       return report;
     } catch (const FlowError& e) {
       retain();
+      disarm();
       line.elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - started);
       line.failure = e.what();

@@ -131,6 +131,30 @@ class MultiQueryMonoidOp final : public UnaryNode<In, Out> {
     }
   }
 
+  /// Non-quiescent barrier path: one lattice freeze covers all Q queries;
+  /// serialization of the shared cut runs on the async executor.
+  std::optional<FrozenJob> freeze_snapshot(std::uint64_t) override {
+    if constexpr (kSerializable) {
+      if (!this->async_enabled()) return std::nullopt;
+      SnapshotWriter base;
+      this->save_base(base);
+      FrozenJob job;
+      job.serialize = [frozen = swa::freeze_shared(lattice_),
+                       head = base.take(),
+                       knob = lattice_.policy().max_cached_keys()]() {
+        SnapshotWriter w;
+        w.write_raw(head.data(), head.size());
+        w.write_pod<std::uint8_t>(kMultiQueryCodecVersion);
+        w.write_u64(knob);
+        frozen->serialize(w);
+        return w.take();
+      };
+      return job;
+    } else {
+      return std::nullopt;
+    }
+  }
+
  private:
   static std::vector<WindowSpec> specs_of(const std::vector<Query>& qs) {
     std::vector<WindowSpec> specs;
@@ -231,6 +255,27 @@ class MultiQueryReplayOp final : public UnaryNode<In, Out> {
     this->complete_barrier(id);
     for (Outlet<Out>& o : outs_) {
       o.push(Element<Out>{CheckpointMarker{id}});
+    }
+  }
+
+  std::optional<FrozenJob> freeze_snapshot(std::uint64_t) override {
+    if constexpr (kSerializable) {
+      if (!this->async_enabled()) return std::nullopt;
+      SnapshotWriter base;
+      this->save_base(base);
+      FrozenJob job;
+      job.serialize = [frozen = swa::freeze_shared(lattice_),
+                       head = base.take()]() {
+        SnapshotWriter w;
+        w.write_raw(head.data(), head.size());
+        w.write_pod<std::uint8_t>(kMultiQueryCodecVersion);
+        w.write_u64(0);  // cache knob slot (replay lattice has none)
+        frozen->serialize(w);
+        return w.take();
+      };
+      return job;
+    } else {
+      return std::nullopt;
     }
   }
 

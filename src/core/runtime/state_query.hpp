@@ -1,0 +1,111 @@
+// Read-only live-state queries over frozen epochs (DESIGN.md § 15): the
+// StateQuery API the MVCC checkpoints make possible. A window operator
+// serving a hub publishes, at every barrier (and at end-of-stream), an
+// immutable Snapshot built from its frozen epoch: point/range closures
+// folding the frozen pane versions, stamped with the epoch, the
+// checkpoint id and the operator's combined watermark at the freeze.
+//
+// Consistency model: every read against one Snapshot observes exactly the
+// tuples the operator had applied when the barrier crossed it — a
+// consistent watermark cut, never a half-applied tuple (the freeze is an
+// atomic shared_ptr copy on the operator thread; post-freeze mutation
+// clones COW versions the snapshot does not share). Reads are wait-free
+// with respect to ingestion: the hot path never takes the hub mutex, only
+// publish() and snapshot() do.
+//
+// Lifetime: snapshots borrow the operator's policy (for the monoid
+// combiner), so hub reads are *live-state* reads — valid while the owning
+// flow (or the RecoveryReport keeping it alive) exists. After the flow is
+// gone, the fired output stream is the record of what the windows held.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/swa/monoid.hpp"
+#include "core/types.hpp"
+#include "core/window.hpp"
+
+namespace aggspes {
+
+template <typename Key, typename Agg>
+class StateQueryHub {
+ public:
+  using Value = swa::WindowAggregate<Agg>;
+
+  /// One consistent cut of a window operator's live state.
+  struct Snapshot {
+    /// Aggregate of the window instance starting at `l` for `key`;
+    /// nullopt when no admitted tuple of `key` falls in [l, l + WS).
+    std::function<std::optional<Value>(const Key&, Timestamp)> point;
+    /// All instances on the spec's advance grid with l in [from, to) that
+    /// hold data for `key`, ascending by instance start.
+    std::function<std::vector<std::pair<Timestamp, Value>>(
+        const Key&, Timestamp, Timestamp)>
+        range;
+    std::uint64_t epoch{0};
+    std::uint64_t checkpoint_id{0};
+    Timestamp watermark{kMinTimestamp};
+  };
+
+  /// Called by the serving operator at barrier time. Keeps the newest
+  /// epoch: out-of-order publishes (an async worker finishing late) never
+  /// roll the visible state backwards.
+  void publish(std::shared_ptr<const Snapshot> s) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (current_ != nullptr && s->epoch < current_->epoch) return;
+    current_ = std::move(s);
+    ++published_;
+  }
+
+  /// The current consistent cut (nullptr before the first barrier). Hold
+  /// the returned shared_ptr across multiple reads that must agree.
+  std::shared_ptr<const Snapshot> snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return current_;
+  }
+
+  /// One-shot point read against the current cut.
+  std::optional<Value> point(const Key& key, Timestamp l) const {
+    const auto s = snapshot();
+    if (s == nullptr) return std::nullopt;
+    return s->point(key, l);
+  }
+
+  /// One-shot range read against the current cut.
+  std::vector<std::pair<Timestamp, Value>> range(const Key& key,
+                                                 Timestamp from,
+                                                 Timestamp to) const {
+    const auto s = snapshot();
+    if (s == nullptr) return {};
+    return s->range(key, from, to);
+  }
+
+  /// Watermark of the current cut (kMinTimestamp before the first one).
+  Timestamp watermark() const {
+    const auto s = snapshot();
+    return s == nullptr ? kMinTimestamp : s->watermark;
+  }
+
+  std::uint64_t epoch() const {
+    const auto s = snapshot();
+    return s == nullptr ? 0 : s->epoch;
+  }
+
+  std::uint64_t published() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return published_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const Snapshot> current_;
+  std::uint64_t published_{0};
+};
+
+}  // namespace aggspes

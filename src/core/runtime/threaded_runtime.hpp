@@ -203,6 +203,26 @@ class ThreadedFlow {
     }
   }
 
+  /// Attaches (nullptr detaches) the asynchronous snapshot executor: every
+  /// node's barrier completion then hands its serialize + durable-commit
+  /// work to the executor's worker thread instead of blocking the node.
+  /// The executor must outlive run(), which drains it before returning
+  /// (frozen jobs reference node-owned state).
+  void attach_async(SnapshotExecutor* executor) {
+    executor_ = executor;
+    if (executor != nullptr) executor->begin_attempt();
+    for (auto& r : runners_) r->node->bind_async(executor);
+  }
+
+  /// Records a whole-flow failure (no single node to blame) and aborts the
+  /// run. Used by the async checkpointer's fatal handler: a checkpoint-path
+  /// crash models the process dying, so the flow must come down and the
+  /// supervisor restart it from the last complete cut.
+  void fail_flow(const std::string& what) {
+    record_failure(FlowError::kNoNode, "async-checkpoint", what);
+    abort_.store(true, std::memory_order_relaxed);
+  }
+
   /// Attaches an overload monitor: the watchdog thread samples every
   /// channel's occupancy/stall gauges and the node watermark spread into it
   /// each poll (and keeps the watchdog alive even with timeouts disabled).
@@ -277,11 +297,18 @@ class ThreadedFlow {
       dog_cv_.notify_all();
       dog.join();
     }
+    // Settle in-flight async snapshots while the nodes (whose frozen state
+    // the jobs reference) are still alive. A checkpoint-path failure during
+    // the drain lands in failures_ via fail_flow and is surfaced below.
+    if (executor_ != nullptr) executor_->drain();
 
     std::lock_guard<std::mutex> lk(fail_mu_);
     if (!watchdog_report_.empty()) throw FlowError(watchdog_report_);
     if (!failures_.empty()) {
       const Failure& f = failures_.front();
+      if (f.node_index == FlowError::kNoNode) {
+        throw FlowError(f.node_name + ": " + f.what);
+      }
       throw FlowError(f.node_index, f.node_name, f.what);
     }
   }
@@ -562,8 +589,11 @@ class ThreadedFlow {
           return;
         case FaultKind::kKillDuringAppend:
         case FaultKind::kTornWrite:
-          // Source-side kinds: on_delivery filters them out (their `edge`
-          // field is a node index), so they never reach a channel.
+        case FaultKind::kKillDuringCheckpoint:
+        case FaultKind::kTornCheckpoint:
+          // Non-channel kinds: on_delivery filters them out (their `edge`
+          // field is a node index or checkpoint phase), so they never
+          // reach a channel.
           return;
       }
     }
@@ -721,6 +751,7 @@ class ThreadedFlow {
   std::unordered_map<const NodeBase*, Runner*> index_;
 
   std::atomic<bool> abort_{false};
+  SnapshotExecutor* executor_{nullptr};
   OverloadMonitor* monitor_{nullptr};
   std::vector<OverloadScope> scopes_;
   std::mutex fail_mu_;

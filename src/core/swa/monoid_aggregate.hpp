@@ -24,11 +24,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "core/operators/operator_base.hpp"
+#include "core/runtime/state_query.hpp"
 #include "core/swa/daba.hpp"
 #include "core/swa/finger_tree.hpp"
 #include "core/swa/monoid_machine.hpp"
@@ -62,6 +64,26 @@ void load_monoid_machine(SnapshotReader& r, std::uint8_t version, Machine& m,
   }
 }
 
+/// Async-snapshot job over a frozen epoch: reproduces snapshot_to's exact
+/// bytes (base header, version byte, policy knob, machine state) off the
+/// operator thread.
+template <typename Machine>
+FrozenJob monoid_snapshot_job(
+    std::shared_ptr<const typename Machine::Frozen> frozen,
+    SnapshotWriter::Bytes base, std::uint64_t max_cached_keys) {
+  FrozenJob job;
+  job.serialize = [frozen = std::move(frozen), base = std::move(base),
+                   max_cached_keys]() {
+    SnapshotWriter w;
+    w.write_raw(base.data(), base.size());
+    w.write_pod<std::uint8_t>(kMonoidAggCodecVersion);
+    w.write_u64(max_cached_keys);
+    frozen->serialize(w);
+    return w.take();
+  };
+  return job;
+}
+
 }  // namespace detail
 
 /// A with a monoid f_O: at most one output per instance.
@@ -85,6 +107,12 @@ class MonoidAggregateOp final : public UnaryNode<In, Out> {
 
   const Machine& machine() const { return machine_; }
   Machine& machine() { return machine_; }
+
+  /// Serve read-only live-state queries: every barrier (and the end of
+  /// the stream, as checkpoint id 0) publishes a consistent frozen cut to
+  /// `hub`. The hub must outlive the flow; reads against its snapshots
+  /// are valid while the flow (or the report holding it) is alive.
+  void serve_state(StateQueryHub<Key, Agg>* hub) { hub_ = hub; }
 
   void snapshot_to(SnapshotWriter& w) const override {
     this->save_base(w);
@@ -118,11 +146,62 @@ class MonoidAggregateOp final : public UnaryNode<In, Out> {
   }
 
   void on_end() override {
+    // Publish the final pre-flush cut: every window still inside the
+    // lateness horizon stays queryable after the stream ends.
+    if (hub_ != nullptr) publish_cut(freeze_shared(machine_), 0);
     if (flush_on_end_) machine_.flush(fire_);
     this->out_.push_end();
   }
 
+  /// Non-quiescent barrier path: freeze the epoch on the operator thread
+  /// (a cheap shared-version copy), publish a StateQuery cut if a hub is
+  /// attached, and hand serialization to the async executor. Without a
+  /// hub or executor the legacy synchronous snapshot_to path is kept.
+  std::optional<FrozenJob> freeze_snapshot(std::uint64_t id) override {
+    if (hub_ == nullptr && !this->async_enabled()) return std::nullopt;
+    auto frozen = freeze_shared(machine_);
+    if (hub_ != nullptr) publish_cut(frozen, id);
+    if constexpr (kSerializable) {
+      SnapshotWriter base;
+      this->save_base(base);
+      return detail::monoid_snapshot_job<Machine>(
+          std::move(frozen), base.take(), machine_.policy().max_cached_keys());
+    } else {
+      return std::nullopt;  // sync path writes the no-state marker byte
+    }
+  }
+
  private:
+  void publish_cut(std::shared_ptr<const typename Machine::Frozen> frozen,
+                   std::uint64_t checkpoint_id) {
+    if constexpr (requires(const typename Machine::Frozen& f, const Key& k) {
+                    f.fold(Timestamp{0}, k);
+                  }) {
+      using Hub = StateQueryHub<Key, Agg>;
+      auto s = std::make_shared<typename Hub::Snapshot>();
+      s->epoch = frozen->epoch;
+      s->checkpoint_id = checkpoint_id;
+      s->watermark = this->watermark();
+      s->point = [frozen](const Key& key, Timestamp l)
+          -> std::optional<WindowAggregate<Agg>> {
+        WindowAggregate<Agg> wa = frozen->fold(l, key);
+        if (wa.count == 0) return std::nullopt;
+        return wa;
+      };
+      s->range = [frozen](const Key& key, Timestamp from, Timestamp to) {
+        std::vector<std::pair<Timestamp, WindowAggregate<Agg>>> out;
+        const Timestamp adv = frozen->spec.advance;
+        for (Timestamp l = floor_div(from + adv - 1, adv) * adv; l < to;
+             l += adv) {
+          WindowAggregate<Agg> wa = frozen->fold(l, key);
+          if (wa.count != 0) out.emplace_back(l, std::move(wa));
+        }
+        return out;
+      };
+      hub_->publish(std::move(s));
+    }
+  }
+
   void fire(Timestamp l, const Key& key, const WindowAggregate<Agg>& wa) {
     if (std::optional<Out> o = lower_(key, wa)) {
       this->out_.push_tuple(
@@ -136,6 +215,7 @@ class MonoidAggregateOp final : public UnaryNode<In, Out> {
   Machine machine_;
   LowerFn lower_;
   bool flush_on_end_;
+  StateQueryHub<Key, Agg>* hub_{nullptr};
   typename Machine::FireFn fire_ =
       [this](Timestamp l, const Key& k, const WindowAggregate<Agg>& wa,
              bool) { fire(l, k, wa); };
@@ -197,6 +277,19 @@ class MonoidAggregatePlusOp final : public UnaryNode<In, Out> {
   void on_end() override {
     machine_.flush(fire_);
     this->out_.push_end();
+  }
+
+  std::optional<FrozenJob> freeze_snapshot(std::uint64_t) override {
+    if constexpr (kSerializable) {
+      if (!this->async_enabled()) return std::nullopt;
+      SnapshotWriter base;
+      this->save_base(base);
+      return detail::monoid_snapshot_job<Machine>(
+          freeze_shared(machine_), base.take(),
+          machine_.policy().max_cached_keys());
+    } else {
+      return std::nullopt;
+    }
   }
 
  private:
@@ -280,6 +373,19 @@ class MonoidAggregateEagerOp final : public UnaryNode<In, Out> {
   void on_end() override {
     machine_.flush(fire_);
     this->out_.push_end();
+  }
+
+  std::optional<FrozenJob> freeze_snapshot(std::uint64_t) override {
+    if constexpr (kSerializable) {
+      if (!this->async_enabled()) return std::nullopt;
+      SnapshotWriter base;
+      this->save_base(base);
+      return detail::monoid_snapshot_job<Machine>(
+          freeze_shared(machine_), base.take(),
+          machine_.policy().max_cached_keys());
+    } else {
+      return std::nullopt;
+    }
   }
 
  private:

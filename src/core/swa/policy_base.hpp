@@ -70,6 +70,17 @@ class MonoidPolicyCore {
 
   const Monoid<In, Agg>& monoid() const { return m_; }
 
+  /// Cache-free fold of [l, l+size)'s pane partials for one key — the
+  /// read path a frozen epoch exposes (async snapshot serialization,
+  /// StateQuery point/range reads). Const and touches no policy cache, so
+  /// it is safe to run from a snapshot/query thread against a frozen pane
+  /// map while the live policy keeps evaluating.
+  template <typename PaneMap>
+  Result fold_window(const PaneMap& panes, Timestamp l, Timestamp end,
+                     const Key& key) const {
+    return fold_range(panes, l, end, key);
+  }
+
  protected:
   void fold_into(Cell& c, const Tuple<In>& t) {
     Agg lifted = m_.lift(t.value);

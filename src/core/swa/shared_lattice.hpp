@@ -44,6 +44,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <unordered_map>
 #include <utility>
@@ -81,13 +82,18 @@ class SharedLattice {
   using FireFn = std::function<void(int, Timestamp, const Key&,
                                     const Result&, bool)>;
   using KeyFn = std::function<Key(const In&)>;
-  using PaneMap = std::map<Timestamp, std::unordered_map<Key, Cell>>;
+  /// MVCC-versioned pane store shared by all queries (epoch.hpp); same
+  /// read surface as the former std::map-of-unordered_map, mutation via
+  /// mutate() so frozen epochs stay isolated.
+  using PaneMap = CowPaneMap<Key, Cell>;
 
   SharedLattice(std::vector<WindowSpec> specs, KeyFn key_fn,
                 Policy policy = Policy{})
       : geom_{shared_pane_width(specs)},
         key_fn_(std::move(key_fn)),
-        policy_(std::move(policy)) {
+        policy_(std::move(policy)),
+        registry_(std::make_shared<EpochRegistry>()) {
+    panes_.bind_registry(registry_);
     queries_.reserve(specs.size());
     for (std::size_t q = 0; q < specs.size(); ++q) {
       Query qu;
@@ -340,7 +346,7 @@ class SharedLattice {
     const std::size_t n_panes = r.read_size();
     for (std::size_t i = 0; i < n_panes; ++i) {
       const Timestamp p = r.read_i64();
-      auto& cells = panes_[p];
+      auto& cells = panes_.mutate(p);
       const std::size_t n_cells = r.read_size();
       for (std::size_t c = 0; c < n_cells; ++c) {
         Key key = read_value<Key>(r);
@@ -381,6 +387,112 @@ class SharedLattice {
     peak_occupancy_ = occupancy_;
   }
 
+  /// Immutable copy of the lattice's recoverable state at one epoch: pane
+  /// versions shared copy-on-write with the live map plus each query's
+  /// scalar state. serialize() reproduces save()'s exact byte layout. The
+  /// policy pointer is borrowed — a Frozen must not outlive the owning
+  /// flow (the runtime drains the async executor before nodes die).
+  struct Frozen {
+    struct QueryState {
+      WindowSpec spec;
+      std::map<Timestamp, std::unordered_map<Key, bool>> fired;
+      bool have_cursor{false};
+      Timestamp cursor{0};
+      Timestamp horizon{kMinTimestamp};
+      std::uint64_t dropped_late{0};
+      std::uint64_t late_updates{0};
+      std::uint64_t fired_instances{0};
+    };
+
+    PaneMap panes;
+    std::vector<QueryState> queries;
+    std::uint64_t next_seq{0};
+    const Policy* policy{nullptr};
+    std::shared_ptr<EpochRegistry> registry;
+    std::uint64_t epoch{0};
+
+    void serialize(SnapshotWriter& w) const {
+      w.write_size(panes.size());
+      for (const auto& [p, cells] : panes) {
+        w.write_i64(p);
+        w.write_size(cells.size());
+        for (const auto& [key, cell] : cells) {
+          write_value(w, key);
+          policy->save_cell(w, cell);
+        }
+      }
+      w.write_u64(next_seq);
+      w.write_size(queries.size());
+      for (const QueryState& qu : queries) {
+        w.write_size(qu.fired.size());
+        for (const auto& [l, keys] : qu.fired) {
+          w.write_i64(l);
+          w.write_size(keys.size());
+          for (const auto& [key, f] : keys) {
+            write_value(w, key);
+            w.write_bool(f);
+          }
+        }
+        w.write_bool(qu.have_cursor);
+        w.write_i64(qu.cursor);
+        w.write_i64(qu.horizon);
+        w.write_u64(qu.dropped_late);
+        w.write_u64(qu.late_updates);
+        w.write_u64(qu.fired_instances);
+      }
+    }
+
+    /// Cache-free fold of query q's instance [l, l + WS_q) for one key —
+    /// only for policies exposing fold_window (the monoid family).
+    typename Policy::Result fold(int q, Timestamp l, const Key& key) const
+      requires requires(const Policy& p) {
+        p.fold_window(panes, l, l, key);
+      }
+    {
+      const WindowSpec& s = queries[static_cast<std::size_t>(q)].spec;
+      return policy->fold_window(panes, l, l + s.size, key);
+    }
+  };
+
+  /// Freezes the current epoch (O(panes) shared-version copy + epoch
+  /// advance/pin); invalidates the write-through pane cache so post-
+  /// freeze stores clone shared slots. Pair with release_frozen().
+  Frozen freeze() {
+    pane_cache_ = nullptr;
+    fast_valid_ = false;
+    Frozen f;
+    f.epoch = registry_->advance();
+    registry_->pin(f.epoch);
+    f.panes = panes_.freeze();
+    f.queries.reserve(queries_.size());
+    for (const Query& qu : queries_) {
+      typename Frozen::QueryState qs;
+      qs.spec = qu.spec;
+      qs.fired = qu.fired;
+      qs.have_cursor = qu.have_cursor;
+      qs.cursor = qu.cursor;
+      qs.horizon = qu.horizon;
+      qs.dropped_late = qu.dropped_late;
+      qs.late_updates = qu.late_updates;
+      qs.fired_instances = qu.fired_instances;
+      f.queries.push_back(std::move(qs));
+    }
+    f.next_seq = next_seq_;
+    f.policy = &policy_;
+    f.registry = registry_;
+    return f;
+  }
+
+  /// Unpins a frozen epoch and collects unreachable versions; safe from
+  /// the async checkpoint worker (registry-internal locking).
+  static void release_frozen(const Frozen& f) {
+    f.registry->unpin(f.epoch);
+    f.registry->collect();
+  }
+
+  const EpochRegistry& epochs() const { return *registry_; }
+  std::uint64_t cow_clones() const { return panes_.cow_clones(); }
+
  private:
   /// Everything a dedicated SlicedEngine keeps per engine, now per query.
   struct Query {
@@ -419,7 +531,7 @@ class SharedLattice {
   /// walks).
   void store_tuple(const Key& key, Timestamp pane_l, const Tuple<In>& t) {
     if (pane_cache_ == nullptr || pane_cache_l_ != pane_l) {
-      pane_cache_ = &panes_[pane_l];
+      pane_cache_ = &panes_.mutate(pane_l);
       pane_cache_l_ = pane_l;
     }
     auto [cell, inserted] = pane_cache_->try_emplace(key);
@@ -534,7 +646,9 @@ class SharedLattice {
   PaneMap panes_;
   std::vector<Query> queries_;
   /// Memoized cell map of the pane written by the previous store.
-  std::unordered_map<Key, Cell>* pane_cache_{nullptr};
+  /// Invalidated by purge of that pane AND by freeze() (post-freeze
+  /// stores must go through mutate() to clone shared slots).
+  typename PaneMap::CellMap* pane_cache_{nullptr};
   Timestamp pane_cache_l_{0};
   /// add()'s per-(pane, watermark) fast-path memo: valid when the last
   /// slow pass took only gap-skip / in-order branches for every query.
@@ -547,6 +661,7 @@ class SharedLattice {
   std::uint64_t occupancy_{0};
   std::uint64_t peak_occupancy_{0};
   Shedder* shedder_{nullptr};
+  std::shared_ptr<EpochRegistry> registry_;
 };
 
 /// Monoid evaluation for the shared lattice: one AggTreap per key over

@@ -35,12 +35,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/recovery/snapshot.hpp"
 #include "core/runtime/overload.hpp"
+#include "core/swa/epoch.hpp"
 #include "core/swa/late_probe.hpp"
 #include "core/swa/pane.hpp"
 #include "core/types.hpp"
@@ -62,13 +64,19 @@ class SlicedEngine {
   /// added(l, key, result) — post-insert hook behind eager Aggregates.
   using AddedFn = std::function<void(Timestamp, const Key&, const Result&)>;
   using KeyFn = std::function<Key(const In&)>;
-  using PaneMap = std::map<Timestamp, std::unordered_map<Key, Cell>>;
+  /// MVCC-versioned pane store (epoch.hpp): policies read it through the
+  /// same map surface as the former std::map-of-unordered_map; mutation
+  /// goes through mutate() so frozen epochs stay isolated.
+  using PaneMap = CowPaneMap<Key, Cell>;
 
   SlicedEngine(WindowSpec spec, KeyFn key_fn, Policy policy = Policy{})
       : spec_(spec),
         geom_(PaneGeometry::of(spec)),
         key_fn_(std::move(key_fn)),
-        policy_(std::move(policy)) {}
+        policy_(std::move(policy)),
+        registry_(std::make_shared<EpochRegistry>()) {
+    panes_.bind_registry(registry_);
+  }
 
   const WindowSpec& spec() const { return spec_; }
   const PaneGeometry& geometry() const { return geom_; }
@@ -277,7 +285,7 @@ class SlicedEngine {
     const std::size_t n_panes = r.read_size();
     for (std::size_t i = 0; i < n_panes; ++i) {
       const Timestamp p = r.read_i64();
-      auto& cells = panes_[p];
+      auto& cells = panes_.mutate(p);
       const std::size_t n_cells = r.read_size();
       for (std::size_t c = 0; c < n_cells; ++c) {
         Key key = read_value<Key>(r);
@@ -311,6 +319,107 @@ class SlicedEngine {
     peak_panes_ = panes_.size();
   }
 
+  /// An immutable copy of the engine's recoverable state at one epoch:
+  /// pane versions shared copy-on-write with the live map, plus the small
+  /// scalar state save() persists. serialize() reproduces save()'s exact
+  /// byte layout, so a frozen snapshot and a quiesced one are
+  /// interchangeable on restore. The policy pointer is borrowed — a
+  /// Frozen must not outlive its engine's flow (ThreadedFlow::run drains
+  /// the async executor before nodes die; StateQuery reads are documented
+  /// live-state reads).
+  struct Frozen {
+    PaneMap panes;
+    std::map<Timestamp, std::unordered_map<Key, bool>> fired;
+    bool have_cursor{false};
+    Timestamp cursor{0};
+    Timestamp horizon{kMinTimestamp};
+    std::uint64_t next_seq{0};
+    std::uint64_t dropped_late{0};
+    std::uint64_t late_updates{0};
+    std::uint64_t fired_instances{0};
+    WindowSpec spec{};
+    PaneGeometry geom{};
+    const Policy* policy{nullptr};
+    std::shared_ptr<EpochRegistry> registry;
+    std::uint64_t epoch{0};
+
+    void serialize(SnapshotWriter& w) const {
+      w.write_size(panes.size());
+      for (const auto& [p, cells] : panes) {
+        w.write_i64(p);
+        w.write_size(cells.size());
+        for (const auto& [key, cell] : cells) {
+          write_value(w, key);
+          policy->save_cell(w, cell);
+        }
+      }
+      w.write_size(fired.size());
+      for (const auto& [l, keys] : fired) {
+        w.write_i64(l);
+        w.write_size(keys.size());
+        for (const auto& [key, f] : keys) {
+          write_value(w, key);
+          w.write_bool(f);
+        }
+      }
+      w.write_bool(have_cursor);
+      w.write_i64(cursor);
+      w.write_i64(horizon);
+      w.write_u64(next_seq);
+      w.write_u64(dropped_late);
+      w.write_u64(late_updates);
+      w.write_u64(fired_instances);
+    }
+
+    /// Cache-free window read at instance `l` for `key` — only for
+    /// policies exposing fold_window (the monoid family). What StateQuery
+    /// point/range reads evaluate against.
+    typename Policy::Result fold(Timestamp l, const Key& key) const
+      requires requires(const Policy& p) {
+        p.fold_window(panes, l, l, key);
+      }
+    {
+      return policy->fold_window(panes, l, l + spec.size, key);
+    }
+  };
+
+  /// Freezes the current epoch: O(panes) shared-version copy, epoch
+  /// advance + pin. The caller (the async snapshot job) must
+  /// release_frozen() when done so retired versions can be collected.
+  /// Invalidates the write-through pane cache — the next store clones any
+  /// pane the snapshot still shares.
+  Frozen freeze() {
+    pane_cache_ = nullptr;
+    Frozen f;
+    f.epoch = registry_->advance();
+    registry_->pin(f.epoch);
+    f.panes = panes_.freeze();
+    f.fired = fired_;
+    f.have_cursor = have_cursor_;
+    f.cursor = cursor_;
+    f.horizon = horizon_;
+    f.next_seq = next_seq_;
+    f.dropped_late = dropped_late_;
+    f.late_updates = late_updates_;
+    f.fired_instances = fired_instances_;
+    f.spec = spec_;
+    f.geom = geom_;
+    f.policy = &policy_;
+    f.registry = registry_;
+    return f;
+  }
+
+  /// Unpins a frozen epoch and collects versions no snapshot can reach.
+  /// Thread-safe (registry-internal locking); called from the async
+  /// checkpoint worker's post hook.
+  static void release_frozen(const Frozen& f) {
+    f.registry->unpin(f.epoch);
+    f.registry->collect();
+  }
+
+  const EpochRegistry& epochs() const { return *registry_; }
+  std::uint64_t cow_clones() const { return panes_.cow_clones(); }
+
  private:
   /// Stores `t` exactly once into its pane cell and keeps the walk
   /// cursor and the key-union cache consistent. `pane_cache_` memoizes
@@ -319,7 +428,7 @@ class SlicedEngine {
   void store_tuple(const Key& key, Timestamp pane_l, const Tuple<In>& t,
                    Timestamp first) {
     if (pane_cache_ == nullptr || pane_cache_l_ != pane_l) {
-      pane_cache_ = &panes_[pane_l];
+      pane_cache_ = &panes_.mutate(pane_l);
       pane_cache_l_ = pane_l;
     }
     auto [cell, inserted] = pane_cache_->try_emplace(key);
@@ -431,7 +540,9 @@ class SlicedEngine {
   Timestamp union_to_{0};
   bool union_valid_{false};
   /// Memoized cell map of the pane written by the previous store.
-  std::unordered_map<Key, Cell>* pane_cache_{nullptr};
+  /// Invalidated by purge of that pane AND by freeze(): after a freeze the
+  /// slot is shared, so the next store must go through mutate() to clone.
+  typename PaneMap::CellMap* pane_cache_{nullptr};
   Timestamp pane_cache_l_{0};
   bool have_cursor_{false};
   Timestamp cursor_{0};              ///< first instance advance() may still fire
@@ -445,6 +556,7 @@ class SlicedEngine {
   std::uint64_t peak_panes_{0};
   LateProbe late_probe_;
   Shedder* shedder_{nullptr};
+  std::shared_ptr<EpochRegistry> registry_;
 };
 
 /// The replay fallback for arbitrary f_O: pane cells hold the tuples

@@ -34,6 +34,16 @@
 
 namespace aggspes::harness {
 
+/// An unsupported RunConfig combination, rejected before any thread
+/// spawns. Derives from std::invalid_argument so existing catch sites
+/// keep working; the message always names the DESIGN.md section that
+/// documents the limitation.
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what)
+      : std::invalid_argument("config: " + what) {}
+};
+
 /// The three § 6 implementations under comparison.
 enum class Impl { kDedicated, kAggBased, kAPlus };
 
@@ -631,7 +641,7 @@ RunResult run_join_t(Impl impl, const RunConfig& cfg,
                      std::function<Key(const R&)> f_k2,
                      std::function<bool(const L&, const R&)> f_p) {
   if (cfg.shards > 1) {
-    throw std::invalid_argument(
+    throw ConfigError(
         "join runners do not support shards > 1 yet: co-partitioning two "
         "inputs through one ShardPlan is future work (DESIGN.md § 13)");
   }

@@ -1,0 +1,241 @@
+// Durable CheckpointStore units (ctest label: mvcc): the atomic cut
+// commit (temp + fsync + rename + dir fsync), the scan that skips —
+// never loads, never deletes — torn and partial cut files, the fallback
+// to the previous complete cut, the on-disk GC window, and the injected
+// commit-phase faults (kKillDuringCheckpoint / kTornCheckpoint) the
+// async-checkpoint chaos matrix builds on. A fresh store pointed at the
+// same directory models a process restart throughout.
+#include "core/recovery/checkpoint_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/recovery/fault_injection.hpp"
+
+namespace fs = std::filesystem;
+
+namespace aggspes {
+namespace {
+
+using Bytes = CheckpointStore::Bytes;
+
+Bytes blob(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+class CheckpointStoreDurableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("aggspes_ckstore_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::size_t ckpt_files() const {
+    std::size_t n = 0;
+    for (const auto& e : fs::directory_iterator(dir_)) {
+      if (e.path().extension() == ".ckpt") ++n;
+    }
+    return n;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CheckpointStoreDurableTest, CommitsCutAtomicallyAndReloads) {
+  CheckpointStore store;
+  store.persist_to(dir_);
+  store.set_expected_nodes(2);
+  store.record(0, 1, blob("node0@1"));
+  EXPECT_EQ(store.cuts_committed(), 0u);  // incomplete: nothing durable yet
+  store.record(1, 1, blob("node1@1"));
+  EXPECT_EQ(store.cuts_committed(), 1u);
+  EXPECT_EQ(store.latest_complete(), std::optional<std::uint64_t>(1));
+  EXPECT_TRUE(fs::exists(dir_ / CheckpointStore::cut_filename(1)));
+
+  // Process restart: a fresh store scanning the directory resumes from
+  // the committed cut with byte-identical node records.
+  CheckpointStore reopened;
+  reopened.persist_to(dir_);
+  EXPECT_EQ(reopened.latest_complete(), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(reopened.find(0, 1), std::optional<Bytes>(blob("node0@1")));
+  EXPECT_EQ(reopened.find(1, 1), std::optional<Bytes>(blob("node1@1")));
+  EXPECT_EQ(reopened.torn_skipped(), 0u);
+}
+
+TEST_F(CheckpointStoreDurableTest, TornFileIsSkippedNotLoaded) {
+  CheckpointStore store;
+  store.persist_to(dir_);
+  store.set_expected_nodes(1);
+  store.record(0, 1, blob("state"));
+  const fs::path cut = dir_ / CheckpointStore::cut_filename(1);
+  ASSERT_TRUE(fs::exists(cut));
+  fs::resize_file(cut, fs::file_size(cut) / 2);  // torn mid-payload
+
+  CheckpointStore reopened;
+  reopened.persist_to(dir_);
+  EXPECT_EQ(reopened.torn_skipped(), 1u);
+  EXPECT_FALSE(reopened.latest_complete().has_value());
+  EXPECT_FALSE(reopened.find(0, 1).has_value());
+  // Skipped, not deleted: the torn artifact survives for forensics.
+  EXPECT_TRUE(fs::exists(cut));
+}
+
+TEST_F(CheckpointStoreDurableTest, FallsBackToPreviousCutWhenLatestIsTorn) {
+  CheckpointStore store;
+  store.persist_to(dir_);
+  store.set_expected_nodes(1);
+  store.record(0, 1, blob("cut-1"));
+  store.record(0, 2, blob("cut-2"));
+  const fs::path newest = dir_ / CheckpointStore::cut_filename(2);
+  fs::resize_file(newest, CheckpointStore::kHeaderSize);  // payload gone
+
+  CheckpointStore reopened;
+  reopened.persist_to(dir_);
+  EXPECT_EQ(reopened.torn_skipped(), 1u);
+  EXPECT_EQ(reopened.latest_complete(), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(reopened.find(0, 1), std::optional<Bytes>(blob("cut-1")));
+}
+
+TEST_F(CheckpointStoreDurableTest, GarbageHeaderAndTmpLeftoversAreIgnored) {
+  CheckpointStore store;
+  store.persist_to(dir_);
+  store.set_expected_nodes(1);
+  store.record(0, 5, blob("valid"));
+  {
+    // A crash between temp write and rename leaves a *.tmp; a foreign
+    // file should never be parsed as a cut.
+    std::ofstream(dir_ / (CheckpointStore::cut_filename(9) + ".tmp"))
+        << "half-staged";
+    std::ofstream(dir_ / "README") << "not a checkpoint";
+    // Zeroed header at a well-formed name: rejected by magic, counted.
+    std::ofstream(dir_ / CheckpointStore::cut_filename(7))
+        << std::string(64, '\0');
+  }
+  CheckpointStore reopened;
+  reopened.persist_to(dir_);
+  EXPECT_EQ(reopened.latest_complete(), std::optional<std::uint64_t>(5));
+  EXPECT_EQ(reopened.torn_skipped(), 1u);  // only the bad-magic cut file
+}
+
+TEST_F(CheckpointStoreDurableTest, DiskGcKeepsTheFallbackWindow) {
+  CheckpointStore store;
+  store.persist_to(dir_);
+  store.set_expected_nodes(1);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    store.record(0, id, blob("cut-" + std::to_string(id)));
+  }
+  EXPECT_EQ(store.disk_ids(), (std::vector<std::uint64_t>{4, 5}));
+  EXPECT_EQ(ckpt_files(), CheckpointStore::kDiskCutsKept);
+  EXPECT_TRUE(fs::exists(dir_ / CheckpointStore::cut_filename(5)));
+  EXPECT_FALSE(fs::exists(dir_ / CheckpointStore::cut_filename(3)));
+}
+
+TEST_F(CheckpointStoreDurableTest, TornCommitFaultFallsBackThenSelfHeals) {
+  FaultInjector faults(0);
+  FaultEvent e;
+  e.kind = FaultKind::kTornCheckpoint;
+  e.attempt = 0;
+  e.edge = static_cast<std::size_t>(CheckpointPhase::kCommit);
+  e.at_delivery = 2;  // checkpoint id
+  faults.add_event(e);
+  faults.begin_attempt(0);
+
+  CheckpointStore store;
+  store.persist_to(dir_);
+  store.set_expected_nodes(1);
+  store.arm_faults(&faults);
+  store.record(0, 1, blob("cut-1"));
+  EXPECT_THROW(store.record(0, 2, blob("cut-2")), CrashInjected);
+  // The torn commit never became the restore candidate.
+  EXPECT_EQ(store.latest_complete(), std::optional<std::uint64_t>(1));
+
+  // The torn file sits at the FINAL name; a restarting store must reject
+  // it by CRC and fall back.
+  CheckpointStore reopened;
+  reopened.persist_to(dir_);
+  EXPECT_EQ(reopened.torn_skipped(), 1u);
+  EXPECT_EQ(reopened.latest_complete(), std::optional<std::uint64_t>(1));
+
+  // Next attempt re-reaches barrier 2: the re-commit renames a complete
+  // file over the torn one — self-healing, no manual cleanup.
+  faults.begin_attempt(1);
+  store.record(0, 2, blob("cut-2"));
+  EXPECT_EQ(store.latest_complete(), std::optional<std::uint64_t>(2));
+  CheckpointStore healed;
+  healed.persist_to(dir_);
+  EXPECT_EQ(healed.torn_skipped(), 0u);
+  EXPECT_EQ(healed.latest_complete(), std::optional<std::uint64_t>(2));
+  EXPECT_EQ(healed.find(0, 2), std::optional<Bytes>(blob("cut-2")));
+}
+
+TEST_F(CheckpointStoreDurableTest, KillBeforeRenameLeavesOnlyTheTemp) {
+  FaultInjector faults(0);
+  FaultEvent e;
+  e.kind = FaultKind::kKillDuringCheckpoint;
+  e.attempt = 0;
+  e.edge = static_cast<std::size_t>(CheckpointPhase::kCommit);
+  e.at_delivery = 1;
+  faults.add_event(e);
+  faults.begin_attempt(0);
+
+  CheckpointStore store;
+  store.persist_to(dir_);
+  store.set_expected_nodes(1);
+  store.arm_faults(&faults);
+  EXPECT_THROW(store.record(0, 1, blob("cut-1")), CrashInjected);
+  EXPECT_FALSE(store.latest_complete().has_value());
+  EXPECT_FALSE(fs::exists(dir_ / CheckpointStore::cut_filename(1)));
+  EXPECT_TRUE(
+      fs::exists(dir_ / (CheckpointStore::cut_filename(1) + ".tmp")));
+
+  CheckpointStore reopened;
+  reopened.persist_to(dir_);
+  EXPECT_FALSE(reopened.latest_complete().has_value());
+  EXPECT_EQ(reopened.torn_skipped(), 0u);  // temps are not torn cuts
+}
+
+TEST_F(CheckpointStoreDurableTest, KillDuringGcHappensAfterTheCommit) {
+  FaultInjector faults(0);
+  FaultEvent e;
+  e.kind = FaultKind::kKillDuringCheckpoint;
+  e.attempt = 0;
+  e.edge = static_cast<std::size_t>(CheckpointPhase::kGc);
+  e.at_delivery = 3;
+  faults.add_event(e);
+  faults.begin_attempt(0);
+
+  CheckpointStore store;
+  store.persist_to(dir_);
+  store.set_expected_nodes(1);
+  store.arm_faults(&faults);
+  store.record(0, 1, blob("cut-1"));
+  store.record(0, 2, blob("cut-2"));
+  EXPECT_THROW(store.record(0, 3, blob("cut-3")), CrashInjected);
+  // The GC kill lands after the durable commit: cut 3 IS the candidate.
+  EXPECT_EQ(store.latest_complete(), std::optional<std::uint64_t>(3));
+  CheckpointStore reopened;
+  reopened.persist_to(dir_);
+  EXPECT_EQ(reopened.latest_complete(), std::optional<std::uint64_t>(3));
+}
+
+TEST_F(CheckpointStoreDurableTest, InMemoryStoreIsUntouchedByDiskPaths) {
+  // No persist_to: the pre-existing in-memory behaviour is unchanged.
+  CheckpointStore store;
+  store.set_expected_nodes(2);
+  store.record(0, 1, blob("a"));
+  store.record(1, 1, blob("b"));
+  EXPECT_EQ(store.latest_complete(), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(store.cuts_committed(), 0u);
+  EXPECT_TRUE(store.disk_ids().empty());
+}
+
+}  // namespace
+}  // namespace aggspes

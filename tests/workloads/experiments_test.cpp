@@ -9,6 +9,7 @@
 
 #include <set>
 #include <stdexcept>
+#include <string>
 
 namespace aggspes::harness {
 namespace {
@@ -137,6 +138,26 @@ TEST(Registry, MonoidBackendIsRejectedWithDiagnostic) {
   RunConfig cfg;
   cfg.backend = WindowBackend::kMonoid;
   EXPECT_THROW(experiment("ALF").run(Impl::kAggBased, cfg),
+               std::invalid_argument);
+}
+
+TEST(Registry, JoinShardsRejectionIsATypedConfigError) {
+  // Sharded join runs are future work (two-input co-partitioning): the
+  // rejection is a typed ConfigError whose message points the user at
+  // the design note instead of a bare invalid_argument.
+  RunConfig cfg;
+  cfg.shards = 2;
+  try {
+    experiment("LLJ").run(Impl::kDedicated, cfg);
+    FAIL() << "shards > 1 on a join runner must be rejected";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("config:"), std::string::npos) << what;
+    EXPECT_NE(what.find("DESIGN.md § 13"), std::string::npos) << what;
+  }
+  // ConfigError derives from invalid_argument, so pre-existing callers
+  // that caught the old type keep working.
+  EXPECT_THROW(experiment("hlj").run(Impl::kAggBased, cfg),
                std::invalid_argument);
 }
 
