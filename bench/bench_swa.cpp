@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include <cstring>
+
 #include "aggbased/flatmap.hpp"
 #include "core/operators/aggregate.hpp"
 #include "core/operators/join.hpp"
@@ -34,7 +36,9 @@
 #include "core/recovery/durable_source.hpp"
 #include "core/recovery/input_log.hpp"
 #include "core/recovery/replay_source.hpp"
+#include "core/runtime/spsc_queue.hpp"
 #include "core/swa/backends.hpp"
+#include "core/swa/batch_kernels.hpp"
 #include "core/swa/daba.hpp"
 #include "core/swa/finger_tree.hpp"
 #include "core/swa/monoid_aggregate.hpp"
@@ -695,6 +699,185 @@ void BM_CheckpointStall_Async(benchmark::State& state) {
 }
 BENCHMARK(BM_CheckpointStall_Async)->Iterations(1 << 19);
 
+// --- Micro-batched hot path: columnar kernels vs per-tuple fold ---------
+//
+// BM_OpIngest_* drives the incremental engine with the identical tuple
+// stream two ways: per-tuple add() (arg 0, the scalar oracle) and
+// add_block() in kElementBlockCapacity-sized runs (arg 1, the § 16 block
+// path — one pane lookup + one columnar kernel fold per run when the
+// monoid is tagged). Single key and kElementBlockCapacity tuples per pane
+// of width WA: the dense same-key same-pane shape the channel hot path
+// delivers, where the batch win is throughput — run_micro.sh turns each
+// arg-0/arg-1 items/s pair into BENCH_swa.json's batch_speedup rows
+// (acceptance: >= 3x on the tagged arithmetic monoids with
+// AGGSPES_BATCH=ON).
+
+constexpr std::size_t kBatchBlock = kElementBlockCapacity;
+
+template <typename Agg, typename Policy>
+void run_batch_ingest(benchmark::State& state, swa::Monoid<int, Agg> monoid) {
+  const bool batched = state.range(0) != 0;
+  using Engine = swa::SlicedEngine<int, int, Policy>;
+  Engine eng(WindowSpec{.advance = kWA, .size = kWA * 32},
+             [](const int&) { return 0; }, Policy(std::move(monoid)));
+  std::uint64_t fired = 0;
+  double sunk = 0;
+  typename Engine::FireFn fire =
+      [&](Timestamp, const int&, const swa::WindowAggregate<Agg>& r, bool) {
+        ++fired;
+        sunk += static_cast<double>(r.agg);
+      };
+  // One block of tuples spanning exactly one pane ([pane_l, pane_l + WA)),
+  // rebased each round; watermark/advance at every pane boundary, the same
+  // discipline the threaded runtime's consumer loop applies.
+  std::vector<Tuple<int>> block(kBatchBlock);
+  Timestamp pane_l = 0;
+  Timestamp wm = kMinTimestamp;
+  while (state.KeepRunningBatch(
+      static_cast<benchmark::IterationCount>(kBatchBlock))) {
+    for (std::size_t i = 0; i < kBatchBlock; ++i) {
+      const auto off = static_cast<Timestamp>(i) * kWA /
+                       static_cast<Timestamp>(kBatchBlock);
+      block[i] = Tuple<int>{pane_l + off, i, static_cast<int>(i) - 128};
+    }
+    if (batched) {
+      eng.add_block(block.data(), block.size(), wm, fire);
+    } else {
+      for (const Tuple<int>& t : block) eng.add(t, wm, fire);
+    }
+    pane_l += kWA;
+    eng.advance(pane_l, fire);
+    wm = pane_l;
+  }
+  benchmark::DoNotOptimize(fired);
+  benchmark::DoNotOptimize(sunk);
+  state.SetItemsProcessed(state.iterations());
+  state.counters["batch"] = batched ? 1 : 0;
+  state.counters["kernels"] = swa::kBatchKernelsCompiled ? 1 : 0;
+}
+
+swa::Monoid<int, long> batch_sum_i64() { return swa::sum_monoid_as<int, long>(); }
+
+void BM_OpIngest_TwoStacks_SumI64(benchmark::State& state) {
+  run_batch_ingest<long, swa::MonoidPolicy<int, long, int>>(state,
+                                                            batch_sum_i64());
+}
+BENCHMARK(BM_OpIngest_TwoStacks_SumI64)->Arg(0)->Arg(1);
+
+void BM_OpIngest_Daba_SumI64(benchmark::State& state) {
+  run_batch_ingest<long, swa::DabaPolicy<int, long, int>>(state,
+                                                          batch_sum_i64());
+}
+BENCHMARK(BM_OpIngest_Daba_SumI64)->Arg(0)->Arg(1);
+
+void BM_OpIngest_TwoStacks_MinI64(benchmark::State& state) {
+  run_batch_ingest<long, swa::MonoidPolicy<int, long, int>>(
+      state, swa::min_monoid_as<int, long>(1L << 40));
+}
+BENCHMARK(BM_OpIngest_TwoStacks_MinI64)->Arg(0)->Arg(1);
+
+void BM_OpIngest_Daba_MinI64(benchmark::State& state) {
+  run_batch_ingest<long, swa::DabaPolicy<int, long, int>>(
+      state, swa::min_monoid_as<int, long>(1L << 40));
+}
+BENCHMARK(BM_OpIngest_Daba_MinI64)->Arg(0)->Arg(1);
+
+void BM_OpIngest_TwoStacks_SumF64(benchmark::State& state) {
+  run_batch_ingest<double, swa::MonoidPolicy<int, double, int>>(
+      state, swa::sum_monoid_as<int, double>());
+}
+BENCHMARK(BM_OpIngest_TwoStacks_SumF64)->Arg(0)->Arg(1);
+
+void BM_OpIngest_Daba_SumF64(benchmark::State& state) {
+  run_batch_ingest<double, swa::DabaPolicy<int, double, int>>(
+      state, swa::sum_monoid_as<int, double>());
+}
+BENCHMARK(BM_OpIngest_Daba_SumF64)->Arg(0)->Arg(1);
+
+void BM_OpIngest_TwoStacks_Count(benchmark::State& state) {
+  run_batch_ingest<long, swa::MonoidPolicy<int, long, int>>(
+      state, swa::count_monoid_as<int, long>());
+}
+BENCHMARK(BM_OpIngest_TwoStacks_Count)->Arg(0)->Arg(1);
+
+void BM_OpIngest_Daba_Count(benchmark::State& state) {
+  run_batch_ingest<long, swa::DabaPolicy<int, long, int>>(
+      state, swa::count_monoid_as<int, long>());
+}
+BENCHMARK(BM_OpIngest_Daba_Count)->Arg(0)->Arg(1);
+
+// --- SPSC channel transfer: per-element vs bulk push_n/pop_n ------------
+//
+// The transport half of the § 16 hot path, isolated: move elements
+// through the runtime's ring per-element (one release/acquire pair per
+// element) vs in kElementBlockCapacity bulk transfers (one pair per
+// block). Single-threaded ping-pong over a ring that never fills, so the
+// numbers measure the transfer protocol, not scheduler noise.
+
+void BM_SpscQueue_Element(benchmark::State& state) {
+  SpscQueue<std::uint64_t> q(1 << 10);
+  std::uint64_t next = 0;
+  std::uint64_t sunk = 0;
+  std::uint64_t v = 0;
+  while (state.KeepRunningBatch(
+      static_cast<benchmark::IterationCount>(kBatchBlock))) {
+    for (std::size_t i = 0; i < kBatchBlock; ++i) q.try_push(next++);
+    for (std::size_t i = 0; i < kBatchBlock; ++i) {
+      q.try_pop(v);
+      sunk += v;
+    }
+  }
+  benchmark::DoNotOptimize(sunk);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscQueue_Element);
+
+void BM_SpscQueue_Bulk(benchmark::State& state) {
+  SpscQueue<std::uint64_t> q(1 << 10);
+  std::vector<std::uint64_t> in(kBatchBlock);
+  std::vector<std::uint64_t> out(kBatchBlock);
+  std::uint64_t next = 0;
+  std::uint64_t sunk = 0;
+  while (state.KeepRunningBatch(
+      static_cast<benchmark::IterationCount>(kBatchBlock))) {
+    for (std::size_t i = 0; i < kBatchBlock; ++i) in[i] = next++;
+    q.push_n(in.data(), in.size());
+    const std::size_t got = q.pop_n(out.data(), out.size());
+    for (std::size_t i = 0; i < got; ++i) sunk += out[i];
+  }
+  benchmark::DoNotOptimize(sunk);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscQueue_Bulk);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// `--smoke` maps to a short filtered pass over the acceptance groups —
+// the perf-smoke ctest entries run it once with the batch kernels
+// compiled in and once with AGGSPES_BATCH=0 (CI builds both trees), so a
+// kernel regression that only breaks one configuration still surfaces.
+int main(int argc, char** argv) {
+  static char arg0[] = "bench_swa";
+  static char smoke_filter[] =
+      "--benchmark_filter=BM_OpLatency|BM_Ooo|BM_OpIngest|BM_SpscQueue";
+  static char smoke_min_time[] = "--benchmark_min_time=0.05";
+  std::vector<char*> args{argc > 0 ? argv[0] : arg0};
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (smoke) {
+    args.push_back(smoke_filter);
+    args.push_back(smoke_min_time);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -22,7 +22,7 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 "$BUILD/bench/bench_swa" --benchmark_format=json \
-    --benchmark_filter='-BM_OpLatency|BM_Ooo|BM_CheckpointStall' \
+    --benchmark_filter='-BM_OpLatency|BM_Ooo|BM_CheckpointStall|BM_OpIngest|BM_SpscQueue' \
     --benchmark_min_time="$MIN_TIME" >"$tmp/swa.json"
 "$BUILD/bench/bench_micro_core" --benchmark_format=json \
     --benchmark_min_time="$MIN_TIME" >"$tmp/micro.json"
@@ -38,6 +38,18 @@ trap 'rm -rf "$tmp"' EXIT
     --benchmark_repetitions=5 \
     --benchmark_report_aggregates_only=true >"$tmp/tails.json"
 
+# Micro-batch kernels (DESIGN.md § 16): scalar vs block ingest for every
+# tagged arithmetic monoid on both FIFO policies, plus element vs bulk
+# SpscQueue transfer. 5 repetitions, medians — same discipline as the
+# tail sections. The accept flag reads the best (policy, monoid) ratio
+# against the >= 3x bar and must be interpreted next to the recorded
+# core count / build type, as shard_scaling's flag is.
+"$BUILD/bench/bench_swa" --benchmark_format=json \
+    --benchmark_filter='BM_OpIngest|BM_SpscQueue' \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_repetitions=5 \
+    --benchmark_report_aggregates_only=true >"$tmp/batch.json"
+
 # Shard scaling (DESIGN.md § 13): the fig6 FM ladder at N ∈ {1,2,4,8}
 # shards. Not a google-benchmark binary — it emits its section directly
 # (measured speedup, the >= 3.0x N=8 accept flag, and the host core count
@@ -51,7 +63,7 @@ trap 'rm -rf "$tmp"' EXIT
 # one added query and its <= 0.1x-a-dedicated-flow accept flag.
 "$BUILD/bench/bench_multiquery" >"$tmp/multiquery.json"
 
-jq -s '
+jq -s --argjson cores "$(nproc)" '
   def cpu($f; $name):
     $f.benchmarks[] | select(.name == $name) | .cpu_time;
   def ctr($f; $name; $c):
@@ -59,7 +71,12 @@ jq -s '
   def med($f; $rn; $field):
     $f.benchmarks[]
     | select(.run_name == $rn and .aggregate_name == "median") | .[$field];
-  . as [$swa, $micro, $tails, $sharded, $multiquery] |
+  def ingest_pair($f; $n):
+    {scalar_items_per_s: med($f; $n + "/0"; "items_per_second"),
+     batched_items_per_s: med($f; $n + "/1"; "items_per_second"),
+     speedup: ((med($f; $n + "/1"; "items_per_second") /
+                med($f; $n + "/0"; "items_per_second")) * 100 | round / 100)};
+  . as [$swa, $micro, $tails, $sharded, $multiquery, $batch] |
   {
     # DABA acceptance (DESIGN.md § 11): worst-case-constant-time slide at
     # WS/WA = 32 means the de-amortized structure'"'"'s per-op p999 stays
@@ -225,6 +242,46 @@ jq -s '
            2 * med($tails; $none; "ingest_p999_ns"))
       }
     ),
+    # Micro-batch hot path (DESIGN.md § 16): block ingest through the
+    # tagged columnar kernels vs the per-tuple scalar path, per FIFO
+    # policy and monoid kind, plus SpscQueue bulk-vs-element transfer.
+    # 5-rep medians of items_per_second. The accept gate is the tentpole
+    # claim — best (policy, monoid) batched/scalar ratio >= 3x — and must
+    # be read against the recorded core count and build type (single
+    # shared-runner cores and RelWithDebInfo both understate the ratio a
+    # Release -O3 tree reaches; CI'"'"'s perf-smoke-batch leg builds that).
+    batch_speedup: (
+      {
+        two_stacks: {
+          sum_i64: ingest_pair($batch; "BM_OpIngest_TwoStacks_SumI64"),
+          min_i64: ingest_pair($batch; "BM_OpIngest_TwoStacks_MinI64"),
+          sum_f64: ingest_pair($batch; "BM_OpIngest_TwoStacks_SumF64"),
+          count: ingest_pair($batch; "BM_OpIngest_TwoStacks_Count")
+        },
+        daba: {
+          sum_i64: ingest_pair($batch; "BM_OpIngest_Daba_SumI64"),
+          min_i64: ingest_pair($batch; "BM_OpIngest_Daba_MinI64"),
+          sum_f64: ingest_pair($batch; "BM_OpIngest_Daba_SumF64"),
+          count: ingest_pair($batch; "BM_OpIngest_Daba_Count")
+        }
+      } as $ingest |
+      {
+        block_tuples: 256,
+        cores: $cores,
+        ingest: $ingest,
+        spsc_queue: {
+          element_items_per_s:
+            med($batch; "BM_SpscQueue_Element"; "items_per_second"),
+          bulk_items_per_s:
+            med($batch; "BM_SpscQueue_Bulk"; "items_per_second"),
+          speedup: ((med($batch; "BM_SpscQueue_Bulk"; "items_per_second") /
+                     med($batch; "BM_SpscQueue_Element"; "items_per_second"))
+                    * 100 | round / 100)
+        },
+        best_ingest_speedup: ([$ingest[][] | .speedup] | max),
+        accept_batch_ge_3x: (([$ingest[][] | .speedup] | max) >= 3.0)
+      }
+    ),
     # Shard scaling (bench_sharded): the section arrives pre-computed —
     # ladder points per width, measured N=8/N=1 speedup, its >= 3.0x
     # accept flag, and the core count the flag must be read against.
@@ -235,13 +292,17 @@ jq -s '
     multiquery_sharing: $multiquery,
     bench_swa: $swa,
     bench_micro_core: $micro,
-    bench_swa_tails: $tails
+    bench_swa_tails: $tails,
+    bench_swa_batch: $batch
   }' "$tmp/swa.json" "$tmp/micro.json" "$tmp/tails.json" \
-     "$tmp/sharded.json" "$tmp/multiquery.json" >"$OUT"
+     "$tmp/sharded.json" "$tmp/multiquery.json" "$tmp/batch.json" >"$OUT"
 
 echo "wrote $OUT"
 jq '{speedup_vs_buffering, flow_speedup_monoid_vs_buffering, join_pane_memory,
      worst_case_latency, ooo_tolerance, wal_overhead, async_checkpoint,
+     batch_speedup: (.batch_speedup
+                     | {cores, best_ingest_speedup, accept_batch_ge_3x,
+                        spsc_speedup: .spsc_queue.speedup}),
      shard_scaling: (.shard_scaling
                      | {cores, speedup_n8_vs_n1, accept_n8_ge_3x}),
      multiquery_sharing: (.multiquery_sharing

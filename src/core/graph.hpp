@@ -35,20 +35,41 @@ class Consumer {
  public:
   virtual ~Consumer() = default;
   virtual void receive(const Element<T>& e) = 0;
+
+  /// Batched delivery of a contiguous run of tuples (never control
+  /// elements — watermarks/EOS/markers always arrive via receive(), so a
+  /// run never spans a marker). The default preserves per-element
+  /// semantics exactly; block-aware consumers override.
+  virtual void receive_block(const Tuple<T>* ts, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) receive(Element<T>{ts[i]});
+  }
 };
 
 /// A consumer that forwards to a bound handler; nodes instantiate one per
 /// input port so multi-port (and multi-type) operators need no inheritance
-/// tricks.
+/// tricks. A port may additionally bind a block handler; without one,
+/// receive_block falls back to per-element delivery through `handler_`.
 template <typename T>
 class Port final : public Consumer<T> {
  public:
   using Handler = std::function<void(const Element<T>&)>;
+  using BlockHandler = std::function<void(const Tuple<T>*, std::size_t)>;
   explicit Port(Handler h) : handler_(std::move(h)) {}
+  Port(Handler h, BlockHandler b)
+      : handler_(std::move(h)), block_handler_(std::move(b)) {}
   void receive(const Element<T>& e) override { handler_(e); }
+
+  void receive_block(const Tuple<T>* ts, std::size_t n) override {
+    if (block_handler_) {
+      block_handler_(ts, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) handler_(Element<T>{ts[i]});
+    }
+  }
 
  private:
   Handler handler_;
+  BlockHandler block_handler_;
 };
 
 /// Transport edge between an outlet and a consumer. Concrete channels are
@@ -59,6 +80,13 @@ class Channel {
   virtual ~Channel() = default;
   virtual void push(const Element<T>& e) = 0;
   virtual bool loop() const = 0;
+
+  /// Bulk push of a contiguous tuple run. Runtimes with a bulk transport
+  /// (ThreadedChannel::push_n) override; the default degrades to n pushes
+  /// so the single-threaded scheduler needs no changes.
+  virtual void push_block(const Tuple<T>* ts, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) push(Element<T>{ts[i]});
+  }
 };
 
 /// Producing side of a stream: fans out to all subscribed channels (P2),
@@ -78,6 +106,13 @@ class Outlet {
       if (!through_loop && c->loop()) continue;
       c->push(e);
     }
+  }
+
+  /// Bulk fan-out of a tuple run. Tuples traverse loop edges (P3 only
+  /// withholds watermarks/EOS), so every channel sees the block.
+  void push_block(const Tuple<T>* ts, std::size_t n) {
+    if (n == 0) return;
+    for (Channel<T>* c : channels_) c->push_block(ts, n);
   }
 
   void push_tuple(Tuple<T> t) { push(Element<T>{std::move(t)}); }

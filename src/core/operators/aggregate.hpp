@@ -76,6 +76,16 @@ class AggregateOp final : public UnaryNode<In, Out> {
     machine_.add(t, this->watermark(), fire_);
   }
 
+  void on_tuple_block(int, const Tuple<In>* ts, std::size_t n) override {
+    // Machines with a batched ingest (SlicedEngine) take the run whole;
+    // WindowMachine and friends keep per-element semantics.
+    if constexpr (requires { machine_.add_block(ts, n, Timestamp{}, fire_); }) {
+      machine_.add_block(ts, n, this->watermark(), fire_);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) on_tuple(0, ts[i]);
+    }
+  }
+
   void on_watermark(Timestamp w) override {
     machine_.advance(w, fire_);
     this->out_.push_watermark(w);  // results first, then the watermark

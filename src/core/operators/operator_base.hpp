@@ -43,8 +43,18 @@ class UnaryNode : public NodeBase {
     ports_.reserve(static_cast<std::size_t>(total));
     for (int i = 0; i < total; ++i) {
       const bool loop = i >= regular_ports;
-      ports_.push_back(std::make_unique<Port<In>>(
-          [this, i, loop](const Element<In>& e) { dispatch(i, loop, e); }));
+      if (loop) {
+        // Loop ports stay per-element: feedback tuples are sparse and
+        // interleave with Chandy-Lamport marker recording.
+        ports_.push_back(std::make_unique<Port<In>>(
+            [this, i](const Element<In>& e) { dispatch(i, true, e); }));
+      } else {
+        ports_.push_back(std::make_unique<Port<In>>(
+            [this, i](const Element<In>& e) { dispatch(i, false, e); },
+            [this, i](const Tuple<In>* ts, std::size_t n) {
+              on_tuple_block(i, ts, n);
+            }));
+      }
     }
   }
 
@@ -65,6 +75,16 @@ class UnaryNode : public NodeBase {
 
  protected:
   virtual void on_tuple(int port, const Tuple<In>& t) = 0;
+
+  /// Batched tuple delivery on a regular port: a contiguous run that never
+  /// spans a watermark/EOS/marker (those always arrive via the per-element
+  /// path), so the combined watermark is constant across the run. Default
+  /// preserves per-element semantics exactly; block-aware operators
+  /// (Map/Filter, the monoid aggregates) override.
+  virtual void on_tuple_block(int port, const Tuple<In>* ts, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) on_tuple(port, ts[i]);
+  }
+
   virtual void on_watermark(Timestamp w) { out_.push_watermark(w); }
   virtual void on_end() { out_.push_end(); }
   /// Barrier `id` is aligned across the live regular ports. Default:

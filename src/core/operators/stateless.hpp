@@ -26,8 +26,17 @@ class FilterOp final : public UnaryNode<T, T> {
     if (f_c_(t.value)) this->out_.push_tuple(t);
   }
 
+  void on_tuple_block(int, const Tuple<T>* ts, std::size_t n) override {
+    block_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (f_c_(ts[i].value)) block_.push_back(ts[i]);
+    }
+    this->out_.push_block(block_.data(), block_.size());
+  }
+
  private:
   Predicate f_c_;
+  std::vector<Tuple<T>> block_;
 };
 
 /// M: forwards f_M(t) with t's event time; f_M never sets τ (M does).
@@ -43,8 +52,17 @@ class MapOp final : public UnaryNode<In, Out> {
     this->out_.push_tuple(Tuple<Out>{t.ts, t.stamp, f_m_(t.value)});
   }
 
+  void on_tuple_block(int, const Tuple<In>* ts, std::size_t n) override {
+    block_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      block_.push_back(Tuple<Out>{ts[i].ts, ts[i].stamp, f_m_(ts[i].value)});
+    }
+    this->out_.push_block(block_.data(), block_.size());
+  }
+
  private:
   Fn f_m_;
+  std::vector<Tuple<Out>> block_;
 };
 
 /// FM: f_FM(t) may produce zero, one or more outputs, all stamped with t's

@@ -57,6 +57,37 @@ class SpscQueue {
     return true;
   }
 
+  /// Bulk enqueue: moves up to `n` items from `src` into the queue and
+  /// returns how many were taken (partial progress when the queue fills).
+  /// One release store of `head_` publishes the whole block, so the
+  /// consumer sees it with a single acquire instead of n.
+  std::size_t push_n(T* src, std::size_t n) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t free = buffer_.size() - (head - tail);
+    const std::size_t take = n < free ? n : free;
+    for (std::size_t i = 0; i < take; ++i) {
+      buffer_[(head + i) & mask_] = std::move(src[i]);
+    }
+    if (take > 0) head_.store(head + take, std::memory_order_release);
+    return take;
+  }
+
+  /// Bulk dequeue: moves up to `max` items into `dst` and returns how many
+  /// were taken (0 when empty). One release store of `tail_` frees the
+  /// whole block for the producer.
+  std::size_t pop_n(T* dst, std::size_t max) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t avail = head - tail;
+    const std::size_t take = max < avail ? max : avail;
+    for (std::size_t i = 0; i < take; ++i) {
+      dst[i] = std::move(buffer_[(tail + i) & mask_]);
+    }
+    if (take > 0) tail_.store(tail + take, std::memory_order_release);
+    return take;
+  }
+
   bool empty() const {
     return head_.load(std::memory_order_acquire) ==
            tail_.load(std::memory_order_acquire);

@@ -315,6 +315,13 @@ class ThreadedFlow {
 
   static constexpr std::size_t kDefaultCapacity = 1024;
 
+  /// Micro-batch size for the channel hot path (DESIGN.md § 16): how many
+  /// elements a consumer drains per deliver_one and how many a bulk
+  /// push_block hands to push_n. Values <= 1 disable batching (legacy
+  /// per-element transfer). Must be set before run() starts threads.
+  void set_batch_block(std::size_t n) { batch_block_ = n; }
+  std::size_t batch_block() const { return batch_block_; }
+
  private:
   struct Runner;
 
@@ -462,6 +469,67 @@ class ThreadedFlow {
       }
     }
 
+    /// Bulk push of a tuple run (block-aware operators emit through
+    /// Outlet::push_block). One push_n call publishes the whole run with a
+    /// single head-store; on a full queue it makes partial progress and
+    /// spins for the rest, charging the wait to stall_ns_ like push().
+    /// Blocks never carry EndOfStream, so no emitted_end bookkeeping.
+    void push_block(const Tuple<T>* ts, std::size_t n) override {
+      if (n == 0) return;
+      if (loop_) {
+        if (flow_->abort_.load(std::memory_order_relaxed)) {
+          throw detail::FlowAborted{};
+        }
+        if (consumer_->exited.load(std::memory_order_acquire)) return;
+        std::lock_guard<std::mutex> lk(mu_);
+        for (std::size_t i = 0; i < n; ++i) {
+          overflow_.push_back(Element<T>{ts[i]});
+        }
+        if (overflow_.size() > high_water_.load(std::memory_order_relaxed)) {
+          high_water_.store(overflow_.size(), std::memory_order_relaxed);
+        }
+        return;
+      }
+      if (flow_->batch_block_ <= 1) {
+        for (std::size_t i = 0; i < n; ++i) push(Element<T>{ts[i]});
+        return;
+      }
+      out_scratch_.clear();
+      out_scratch_.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        out_scratch_.push_back(Element<T>{ts[i]});
+      }
+      std::size_t done = queue_.push_n(out_scratch_.data(), n);
+      if (done < n) {
+        const auto blocked_at = std::chrono::steady_clock::now();
+        const auto charge_stall = [&] {
+          stall_ns_.fetch_add(
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - blocked_at)
+                      .count()),
+              std::memory_order_relaxed);
+        };
+        while (done < n) {
+          if (flow_->abort_.load(std::memory_order_relaxed)) {
+            charge_stall();
+            throw detail::FlowAborted{};
+          }
+          if (consumer_->exited.load(std::memory_order_acquire)) {
+            charge_stall();
+            return;
+          }
+          std::this_thread::yield();
+          done += queue_.push_n(out_scratch_.data() + done, n - done);
+        }
+        charge_stall();
+      }
+      const std::size_t d = queue_.size();
+      if (d > high_water_.load(std::memory_order_relaxed)) {
+        high_water_.store(d, std::memory_order_relaxed);
+      }
+    }
+
     bool loop() const override { return loop_; }
     bool loop_edge() const override { return loop_; }
 
@@ -478,29 +546,79 @@ class ThreadedFlow {
         }
         held_.store(false, std::memory_order_relaxed);
       }
-      Element<T> e;
-      if (loop_) {
-        std::lock_guard<std::mutex> lk(mu_);
-        if (overflow_.empty()) return false;
-        e = std::move(overflow_.front());
-        overflow_.pop_front();
-      } else if (!queue_.try_pop(e)) {
-        return false;
+      // Refill the consumer-side scratch. Loop edges stay per-element (the
+      // overflow deque is mutex-guarded and feedback traffic is sparse);
+      // regular edges drain up to one block per call with a single
+      // tail-store, which is where the hot path's atomics amortize.
+      if (pend_at_ >= pending_.size()) {
+        pend_at_ = 0;
+        pending_.clear();
+        if (loop_) {
+          std::lock_guard<std::mutex> lk(mu_);
+          if (overflow_.empty()) return false;
+          pending_.push_back(std::move(overflow_.front()));
+          overflow_.pop_front();
+        } else {
+          const std::size_t want =
+              flow_->batch_block_ > 1 ? flow_->batch_block_ : 1;
+          pending_.resize(want);
+          const std::size_t got = queue_.pop_n(pending_.data(), want);
+          pending_.resize(got);
+          if (got == 0) return false;
+        }
       }
-      if (is_end(e)) ended_.store(true, std::memory_order_release);
-      const std::uint64_t d =
-          delivered_.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (faults_ != nullptr) apply_fault(e, d);
-      const bool marker = is_marker(e);
-      const std::uint64_t before =
-          marker ? consumer_->node->completed_barriers() : 0;
-      target_.receive(e);
-      if (marker && !loop_ &&
-          consumer_->node->completed_barriers() == before) {
-        resume_when_ = before + 1;
-        held_.store(true, std::memory_order_relaxed);
+      // Deliver the scratch: contiguous tuple runs go through the block
+      // path when no faults are armed (fault injection is strictly
+      // per-delivery); control elements, singleton runs, and fault-armed
+      // channels take the per-element path unchanged. A marker that the
+      // consumer does not immediately complete holds the channel with the
+      // post-marker remainder still staged here — alignment semantics are
+      // identical to per-element delivery because a run never spans a
+      // marker.
+      bool delivered = false;
+      while (pend_at_ < pending_.size()) {
+        if (held_.load(std::memory_order_relaxed)) {
+          if (consumer_->node->completed_barriers() < resume_when_) {
+            return delivered;
+          }
+          held_.store(false, std::memory_order_relaxed);
+        }
+        if (faults_ == nullptr && is_tuple(pending_[pend_at_])) {
+          std::size_t run_end = pend_at_ + 1;
+          while (run_end < pending_.size() && is_tuple(pending_[run_end])) {
+            ++run_end;
+          }
+          const std::size_t n = run_end - pend_at_;
+          if (n > 1) {
+            run_.clear();
+            for (std::size_t i = pend_at_; i < run_end; ++i) {
+              run_.push_back(std::get<Tuple<T>>(std::move(pending_[i])));
+            }
+            pend_at_ = run_end;
+            delivered_.fetch_add(n, std::memory_order_relaxed);
+            target_.receive_block(run_.data(), n);
+            delivered = true;
+            continue;
+          }
+        }
+        Element<T> e = std::move(pending_[pend_at_]);
+        ++pend_at_;
+        if (is_end(e)) ended_.store(true, std::memory_order_release);
+        const std::uint64_t d =
+            delivered_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (faults_ != nullptr) apply_fault(e, d);
+        const bool marker = is_marker(e);
+        const std::uint64_t before =
+            marker ? consumer_->node->completed_barriers() : 0;
+        target_.receive(e);
+        delivered = true;
+        if (marker && !loop_ &&
+            consumer_->node->completed_barriers() == before) {
+          resume_when_ = before + 1;
+          held_.store(true, std::memory_order_relaxed);
+        }
       }
-      return true;
+      return delivered;
     }
 
     bool delivered_end() const override {
@@ -614,6 +732,14 @@ class ThreadedFlow {
     std::atomic<std::size_t> high_water_{0};
     std::atomic<bool> held_{false};
     std::uint64_t resume_when_{0};  // consumer-thread only
+    // Micro-batch scratch. pending_/pend_at_/run_ are consumer-thread
+    // only; out_scratch_ is producer-thread only. None are visible to the
+    // watchdog (depth() intentionally reads just the queue, so gauges may
+    // under-report by at most one block while a batch is staged).
+    std::vector<Element<T>> pending_;
+    std::size_t pend_at_{0};
+    std::vector<Tuple<T>> run_;
+    std::vector<Element<T>> out_scratch_;
   };
 
   void record_failure(std::size_t node_index, const std::string& name,
@@ -751,6 +877,7 @@ class ThreadedFlow {
   std::unordered_map<const NodeBase*, Runner*> index_;
 
   std::atomic<bool> abort_{false};
+  std::size_t batch_block_{kElementBlockCapacity};
   SnapshotExecutor* executor_{nullptr};
   OverloadMonitor* monitor_{nullptr};
   std::vector<OverloadScope> scopes_;

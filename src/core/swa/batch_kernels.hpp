@@ -1,0 +1,123 @@
+// Columnar batch kernels for the arithmetic monoids (DESIGN.md § 16).
+//
+// A monoid tagged kSum/kMin/kMax/kCount promises the canonical
+// ⟨lift, combine⟩ shape, which lets a whole same-key run of a block be
+// folded without the per-tuple std::function indirections: values are
+// extracted from the (strided) tuple run into a contiguous scratch column
+// and reduced with a tight loop the compiler can auto-vectorize at plain
+// -O3. The fold order is the same left-to-right sequence as the scalar
+// path, so results are bit-identical and the scalar path stays a
+// byte-exact differential oracle: integer reductions vectorize anyway
+// (integer + / min / max are associative), floating-point sums stay
+// sequential (no -ffast-math reassociation) and win on call overhead
+// alone. kCommutative would additionally allow reordering; kernels do not
+// exercise it where it could change double bits.
+//
+// The AGGSPES_BATCH toggle (CMake option, default ON) compiles the
+// kernels out entirely when 0; every caller then falls back to the scalar
+// fold, which is always compiled in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "core/swa/monoid.hpp"
+#include "core/types.hpp"
+
+#if !defined(AGGSPES_BATCH)
+#define AGGSPES_BATCH 1
+#endif
+
+namespace aggspes::swa {
+
+/// Whether this build compiled the columnar kernels in.
+inline constexpr bool kBatchKernelsCompiled = AGGSPES_BATCH != 0;
+
+/// Types the kernels handle: plain arithmetic payloads and aggregates
+/// (int64/double and friends). Everything else takes the scalar path.
+template <typename In, typename Agg>
+inline constexpr bool kBatchKernelEligible =
+    std::is_arithmetic_v<In> && std::is_arithmetic_v<Agg> &&
+    !std::is_same_v<In, bool> && !std::is_same_v<Agg, bool>;
+
+/// Scratch-column width; one cache-resident chunk per reduce pass.
+inline constexpr std::size_t kBatchKernelChunk = 256;
+
+/// Folds the tuple run `ts[0..n)` into `acc` in scalar fold order:
+/// when `fresh`, `acc` is seeded from the first tuple's lift (exactly what
+/// the scalar path does for an empty cell — NOT combine(identity, lift),
+/// which can differ in bits for e.g. -0.0); the rest combine in sequence.
+/// `stamp` is maxed over the run. Returns false when the kind has no
+/// kernel for these types (or kernels are compiled out); the caller must
+/// then take the scalar path. Pre: n > 0, kind != kGeneric.
+template <typename In, typename Agg>
+inline bool batch_fold_run(MonoidKind kind, const Tuple<In>* ts,
+                           std::size_t n, bool fresh, Agg& acc,
+                           std::uint64_t& stamp) {
+#if !AGGSPES_BATCH
+  (void)kind;
+  (void)ts;
+  (void)n;
+  (void)fresh;
+  (void)acc;
+  (void)stamp;
+  return false;
+#else
+  if constexpr (!kBatchKernelEligible<In, Agg>) {
+    (void)kind;
+    (void)ts;
+    (void)n;
+    (void)fresh;
+    (void)acc;
+    (void)stamp;
+    return false;
+  } else {
+    std::uint64_t smax = stamp;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ts[i].stamp > smax) smax = ts[i].stamp;
+    }
+    stamp = smax;
+
+    if (kind == MonoidKind::kCount) {
+      // count: lift == 1, combine == +. Agg is integral for the stock
+      // count monoid; a float count still sums exactly for any real run.
+      acc = fresh ? static_cast<Agg>(n) : static_cast<Agg>(acc + n);
+      return true;
+    }
+
+    std::size_t i = 0;
+    if (fresh) {
+      acc = static_cast<Agg>(ts[0].value);
+      i = 1;
+    }
+    alignas(64) Agg col[kBatchKernelChunk];
+    while (i < n) {
+      const std::size_t m =
+          (n - i) < kBatchKernelChunk ? (n - i) : kBatchKernelChunk;
+      for (std::size_t j = 0; j < m; ++j) {
+        col[j] = static_cast<Agg>(ts[i + j].value);
+      }
+      Agg a = acc;
+      switch (kind) {
+        case MonoidKind::kSum:
+          for (std::size_t j = 0; j < m; ++j) a = a + col[j];
+          break;
+        case MonoidKind::kMin:
+          for (std::size_t j = 0; j < m; ++j) a = col[j] < a ? col[j] : a;
+          break;
+        case MonoidKind::kMax:
+          for (std::size_t j = 0; j < m; ++j) a = a < col[j] ? col[j] : a;
+          break;
+        default:
+          return false;  // kGeneric (or future kinds): scalar path
+      }
+      acc = a;
+      i += m;
+    }
+    return true;
+  }
+#endif
+}
+
+}  // namespace aggspes::swa

@@ -207,6 +207,11 @@ class DabaLite {
 
 /// MonoidPolicy with the flip spike removed: same cell format, same
 /// version/frontier out-of-order rule, worst-case O(1) per-fire slide.
+/// Inherits FifoMonoidPolicy::absorb_run, so the batched ingest path
+/// (SlicedEngine::add_block + the columnar kernels of batch_kernels.hpp)
+/// applies to DABA-backed aggregates exactly as to two-stacks ones — the
+/// kernels feed the shared pane cells; only the per-key FIFO cache type
+/// differs.
 template <typename In, typename Agg, typename Key>
 using DabaPolicy =
     FifoMonoidPolicy<In, Agg, Key, DabaLite<WindowAggregate<Agg>>>;

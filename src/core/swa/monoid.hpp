@@ -22,12 +22,33 @@
 
 namespace aggspes::swa {
 
+/// Which arithmetic shape a monoid's ⟨lift, combine⟩ pair has, when the
+/// declaration promises one. kGeneric makes no promise — the engine must
+/// call the std::function members per tuple. The tagged kinds let the
+/// batched hot path (batch_kernels.hpp) replace the per-tuple indirect
+/// calls with a columnar tight loop over a whole same-key run:
+///   kSum    lift(v) == static_cast<Agg>(v), combine == +
+///   kMin    lift(v) == static_cast<Agg>(v), combine == std::min
+///   kMax    lift(v) == static_cast<Agg>(v), combine == std::max
+///   kCount  lift(v) == Agg{1},              combine == +
+/// Tagging a monoid whose functions do NOT match the promised shape is
+/// undefined (the differential suite exists to catch exactly that).
+enum class MonoidKind : std::uint8_t { kGeneric, kSum, kMin, kMax, kCount };
+
 /// User declaration of f_O's incremental core.
 template <typename In, typename Agg>
 struct Monoid {
   Agg identity{};
   std::function<Agg(const In&)> lift;
   std::function<Agg(const Agg&, const Agg&)> combine;
+  /// Kernel legality tag (see MonoidKind). Defaults to no promise.
+  MonoidKind kind{MonoidKind::kGeneric};
+  /// kCommutative: combine(a, b) == combine(b, a). Grants batch kernels
+  /// the right to reorder combines within a pane; they only exercise it
+  /// where the result stays bit-identical to the sequential fold (integer
+  /// reductions), keeping the scalar path a byte-exact oracle. Replay and
+  /// holistic folds carry no such declaration and always run scalar.
+  bool commutative{false};
 };
 
 /// One window instance's evaluated aggregate, handed to the lowering
@@ -44,25 +65,61 @@ struct WindowAggregate {
 template <typename In>
 Monoid<In, In> sum_monoid() {
   return {In{}, [](const In& v) { return v; },
-          [](const In& a, const In& b) { return a + b; }};
+          [](const In& a, const In& b) { return a + b; },
+          MonoidKind::kSum, /*commutative=*/true};
 }
 
 template <typename In>
 Monoid<In, std::uint64_t> count_monoid() {
   return {0, [](const In&) { return std::uint64_t{1}; },
-          [](std::uint64_t a, std::uint64_t b) { return a + b; }};
+          [](std::uint64_t a, std::uint64_t b) { return a + b; },
+          MonoidKind::kCount, /*commutative=*/true};
 }
 
 template <typename In>
 Monoid<In, In> max_monoid(In lowest) {
   return {lowest, [](const In& v) { return v; },
-          [](const In& a, const In& b) { return std::max(a, b); }};
+          [](const In& a, const In& b) { return std::max(a, b); },
+          MonoidKind::kMax, /*commutative=*/true};
 }
 
 template <typename In>
 Monoid<In, In> min_monoid(In highest) {
   return {highest, [](const In& v) { return v; },
-          [](const In& a, const In& b) { return std::min(a, b); }};
+          [](const In& a, const In& b) { return std::min(a, b); },
+          MonoidKind::kMin, /*commutative=*/true};
+}
+
+// Heterogeneous variants: aggregate in Agg with lift(v) ==
+// static_cast<Agg>(v) — exactly the shape the kernel tags promise (a sum
+// of ints in a wider long, a float payload reduced in double, …).
+
+template <typename In, typename Agg>
+Monoid<In, Agg> sum_monoid_as() {
+  return {Agg{}, [](const In& v) { return static_cast<Agg>(v); },
+          [](const Agg& a, const Agg& b) { return a + b; },
+          MonoidKind::kSum, /*commutative=*/true};
+}
+
+template <typename In, typename Agg>
+Monoid<In, Agg> count_monoid_as() {
+  return {Agg{}, [](const In&) { return Agg{1}; },
+          [](const Agg& a, const Agg& b) { return a + b; },
+          MonoidKind::kCount, /*commutative=*/true};
+}
+
+template <typename In, typename Agg>
+Monoid<In, Agg> max_monoid_as(Agg lowest) {
+  return {lowest, [](const In& v) { return static_cast<Agg>(v); },
+          [](const Agg& a, const Agg& b) { return std::max(a, b); },
+          MonoidKind::kMax, /*commutative=*/true};
+}
+
+template <typename In, typename Agg>
+Monoid<In, Agg> min_monoid_as(Agg highest) {
+  return {highest, [](const In& v) { return static_cast<Agg>(v); },
+          [](const Agg& a, const Agg& b) { return std::min(a, b); },
+          MonoidKind::kMin, /*commutative=*/true};
 }
 
 }  // namespace aggspes::swa

@@ -140,6 +140,10 @@ class MonoidAggregateOp final : public UnaryNode<In, Out> {
     machine_.add(t, this->watermark(), fire_);
   }
 
+  void on_tuple_block(int, const Tuple<In>* ts, std::size_t n) override {
+    machine_.add_block(ts, n, this->watermark(), fire_);
+  }
+
   void on_watermark(Timestamp w) override {
     machine_.advance(w, fire_);
     this->out_.push_watermark(w);
@@ -267,6 +271,10 @@ class MonoidAggregatePlusOp final : public UnaryNode<In, Out> {
  protected:
   void on_tuple(int, const Tuple<In>& t) override {
     machine_.add(t, this->watermark(), fire_);
+  }
+
+  void on_tuple_block(int, const Tuple<In>* ts, std::size_t n) override {
+    machine_.add_block(ts, n, this->watermark(), fire_);
   }
 
   void on_watermark(Timestamp w) override {

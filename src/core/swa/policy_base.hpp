@@ -29,6 +29,7 @@
 #include <utility>
 
 #include "core/recovery/snapshot.hpp"
+#include "core/swa/batch_kernels.hpp"
 #include "core/swa/monoid.hpp"
 #include "core/swa/pane.hpp"
 #include "core/types.hpp"
@@ -87,6 +88,20 @@ class MonoidPolicyCore {
     c.agg = c.count == 0 ? std::move(lifted) : m_.combine(c.agg, lifted);
     ++c.count;
     c.stamp = std::max(c.stamp, t.stamp);
+  }
+
+  /// Folds a contiguous tuple run into one cell. Monoids tagged with an
+  /// arithmetic kind go through the columnar kernel (bit-identical to the
+  /// sequential scalar fold — see batch_kernels.hpp); everything else, and
+  /// builds with AGGSPES_BATCH=0, falls back to per-tuple fold_into.
+  void fold_run_into(Cell& c, const Tuple<In>* ts, std::size_t n) {
+    if (n == 0) return;
+    if (m_.kind != MonoidKind::kGeneric &&
+        batch_fold_run(m_.kind, ts, n, c.count == 0, c.agg, c.stamp)) {
+      c.count += n;
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) fold_into(c, ts[i]);
   }
 
   /// Combines WindowAggregates; a precedes b in event-time order.
@@ -215,6 +230,17 @@ class FifoMonoidPolicy : public MonoidPolicyCore<In, Agg, Key> {
               const Tuple<In>& t, std::uint64_t /*seq*/) {
     this->fold_into(c, t);
     if (pane_l < frontier_) ++version_;  // pane inside built caches mutated
+  }
+
+  /// Batched absorb: folds a whole same-key, same-pane tuple run into one
+  /// cell with a single version-bump check. Only the monoid-family FIFO
+  /// policies expose this — ReplayPolicy (and holistic folds generally)
+  /// deliberately has no absorb_run, so SlicedEngine::add_block detects
+  /// its absence and keeps those on the scalar path (DESIGN.md § 11/§ 16).
+  void absorb_run(const Key& /*key*/, Cell& c, Timestamp pane_l,
+                  const Tuple<In>* ts, std::size_t n, std::uint64_t /*seq0*/) {
+    this->fold_run_into(c, ts, n);
+    if (pane_l < frontier_) ++version_;
   }
 
   template <typename PaneMap>

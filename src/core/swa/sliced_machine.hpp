@@ -83,6 +83,15 @@ class SlicedEngine {
   Policy& policy() { return policy_; }
   const Policy& policy() const { return policy_; }
 
+  /// Whether the policy accepts batched same-pane tuple runs (absorb_run).
+  /// The monoid FIFO family does; ReplayPolicy — and holistic/order-
+  /// sensitive folds generally — deliberately does not, so add_block
+  /// degrades to per-tuple add() for them (DESIGN.md § 11/§ 16).
+  static constexpr bool kHasBatchAbsorb =
+      requires(Policy& p, const Key& k, Cell& c, const Tuple<In>* ts) {
+        p.absorb_run(k, c, Timestamp{}, ts, std::size_t{}, std::uint64_t{});
+      };
+
   /// Inserts `t` once (into its pane) and applies per-instance admission,
   /// eager hooks and late re-fires exactly like WindowMachine::add.
   void add(const Tuple<In>& t, Timestamp w, const FireFn& fire,
@@ -95,6 +104,82 @@ class SlicedEngine {
                          t.ts, w)) {
       return;
     }
+    add_admitted(t, w, fire, added, key);
+  }
+
+  /// Micro-batch ingest of a contiguous tuple run sharing one watermark
+  /// (channel blocks never span a control element, so `w` is constant
+  /// across the run). Detects maximal same-key, same-pane, in-order
+  /// fast-path sub-runs and absorbs each with ONE policy call — the
+  /// columnar kernel when the monoid is tagged — while anything needing
+  /// the slow path (late/closing tuples, eager hooks, policies without
+  /// absorb_run) falls back to the per-tuple route. Shedder admission is
+  /// consulted exactly once per tuple in arrival order, so shed
+  /// accounting and the shedder's deterministic decision stream are
+  /// identical to calling add() per element.
+  void add_block(const Tuple<In>* ts, std::size_t n, Timestamp w,
+                 const FireFn& fire, const AddedFn& added = {}) {
+    if constexpr (!kHasBatchAbsorb) {
+      for (std::size_t i = 0; i < n; ++i) add(ts[i], w, fire, added);
+    } else {
+      if (added) {
+        // Eager hooks observe every insert in order; no batching.
+        for (std::size_t i = 0; i < n; ++i) add(ts[i], w, fire, added);
+        return;
+      }
+      std::size_t i = 0;
+      while (i < n) {
+        const Tuple<In>& t = ts[i];
+        Key key = key_fn_(t.value);
+        const std::uint64_t key_hash =
+            shedder_ != nullptr
+                ? static_cast<std::uint64_t>(std::hash<Key>{}(key))
+                : 0;
+        if (shedder_ != nullptr && !shedder_->admit(key_hash, t.ts, w)) {
+          ++i;
+          continue;
+        }
+        const Timestamp first = spec_.first_instance(t.ts);
+        if (spec_.closes(first, w)) {
+          add_admitted(t, w, fire, {}, key);  // already admitted above
+          ++i;
+          continue;
+        }
+        if (!(spec_.size >= spec_.advance ||
+              first <= spec_.last_instance(t.ts))) {
+          ++i;  // WS < WA gap tuple: admitted but not stored (as in add)
+          continue;
+        }
+        const Timestamp pane_l = geom_.pane_of(t.ts);
+        const Timestamp pane_end = pane_l + geom_.width;
+        bool shed_next = false;
+        std::size_t j = i + 1;
+        while (j < n) {
+          const Tuple<In>& u = ts[j];
+          // Instance membership is pane-constant: first_instance /
+          // last_instance only change at WA- and (WS mod WA)-aligned
+          // boundaries, both multiples of g, so every same-pane tuple
+          // shares t's first/closes/gap verdicts (and its first_instance
+          // — min_first is just `first`). Only the pane-range check, the
+          // key and admission remain per tuple on the hot scan.
+          if (u.ts < pane_l || u.ts >= pane_end) break;
+          if (!(key_fn_(u.value) == key)) break;
+          if (shedder_ != nullptr && !shedder_->admit(key_hash, u.ts, w)) {
+            shed_next = true;  // u is dropped; the run ends before it
+            break;
+          }
+          ++j;
+        }
+        store_run(key, pane_l, ts + i, j - i, first);
+        i = shed_next ? j + 1 : j;
+      }
+    }
+  }
+
+  /// add() after the shedder admitted `t` (shared by the per-element and
+  /// block paths so admission is never consulted twice for one tuple).
+  void add_admitted(const Tuple<In>& t, Timestamp w, const FireFn& fire,
+                    const AddedFn& added, const Key& key) {
     const Timestamp pane_l = geom_.pane_of(t.ts);
     const Timestamp first = spec_.first_instance(t.ts);
     if (!added && !spec_.closes(first, w)) {
@@ -440,6 +525,39 @@ class SlicedEngine {
       ++active_keys_[key];  // keep the fire walk's key-union exact
     }
     if (!have_cursor_ || first < cursor_) cursor_ = first;
+    have_cursor_ = true;
+  }
+
+  /// store_tuple for a same-key, same-pane run: one pane lookup, one cell
+  /// find-or-insert and one policy absorb for the whole run. Bookkeeping
+  /// (occupancy, peaks, key-union, cursor) lands exactly where per-tuple
+  /// stores would have left it, since the run grows occupancy monotonically
+  /// within a single pane. `min_first` is the smallest first_instance
+  /// across the run (the cursor may only move backwards to it).
+  void store_run(const Key& key, Timestamp pane_l, const Tuple<In>* ts,
+                 std::size_t n, Timestamp min_first) {
+    if (n == 0) return;
+    if (pane_cache_ == nullptr || pane_cache_l_ != pane_l) {
+      pane_cache_ = &panes_.mutate(pane_l);
+      pane_cache_l_ = pane_l;
+    }
+    auto [cell, inserted] = pane_cache_->try_emplace(key);
+    if constexpr (kHasBatchAbsorb) {
+      policy_.absorb_run(key, cell->second, pane_l, ts, n, next_seq_);
+      next_seq_ += n;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        policy_.absorb(key, cell->second, pane_l, ts[i], next_seq_++);
+      }
+    }
+    occupancy_ += n;
+    if (occupancy_ > peak_occupancy_) peak_occupancy_ = occupancy_;
+    if (panes_.size() > peak_panes_) peak_panes_ = panes_.size();
+    if (inserted && union_valid_ && pane_l >= union_from_ &&
+        pane_l < union_to_) {
+      ++active_keys_[key];
+    }
+    if (!have_cursor_ || min_first < cursor_) cursor_ = min_first;
     have_cursor_ = true;
   }
 

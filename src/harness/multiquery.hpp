@@ -37,6 +37,7 @@ RunResult run_multiquery(const RunConfig& cfg,
   }
   const std::size_t n_queries = cfg.queries.size();
   ThreadedFlow flow;
+  flow.set_batch_block(cfg.batch_block);
   Timestamp max_close = 0;
   for (const WindowSpec& s : cfg.queries) {
     max_close = std::max(max_close, s.size + s.lateness);

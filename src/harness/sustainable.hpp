@@ -157,6 +157,22 @@ struct RunConfig {
   /// gates the lattice's store edge (one decision per tuple, attributed
   /// per query) rather than source admission.
   std::vector<WindowSpec> queries;
+  /// Micro-batch block size for the channel hot path (DESIGN.md § 16):
+  /// how many elements a channel bulk-moves per transfer and the largest
+  /// tuple run an operator's block path sees. <= 1 disables batching
+  /// (per-element transfer, byte-identical to the pre-batch harness).
+  /// Purely a runtime knob: it never changes outputs or state formats
+  /// (the batch differential suite pins that), so no snapshot codec
+  /// version moves with it — kMonoidAggCodecVersion stays at 2.
+  std::size_t batch_block{kElementBlockCapacity};
+  /// Shed at the Embed operator instead of source admission (DESIGN.md
+  /// § 10 rider): with shed.policy != kNone, the Shedder gates the embed
+  /// machine's add() — after channel transport, before lift — so
+  /// OverloadMonitor pressure drops tuples at the operator, with the same
+  /// exact shed_count/shed_ratio attribution (one admit per tuple through
+  /// the one Shedder the run owns). AggBased FM pipelines only; other
+  /// impls and sharded/multiquery runs keep their existing shed edges.
+  bool shed_at_embed{false};
 };
 
 /// How many of the heaviest-shed keys a run reports.
@@ -383,6 +399,7 @@ RunResult run_fm_sharded(Impl impl, const RunConfig& cfg,
                          std::function<In(std::uint64_t)> gen,
                          FlatMapFn<In, Out> f_fm) {
   ThreadedFlow flow;
+  flow.set_batch_block(cfg.batch_block);
   const Timestamp flush = 3 * cfg.wm_period + 10;
   auto& src = flow.add<RateSource<In>>(
       source_config<In>(cfg, cfg.rate, flush), std::move(gen));
@@ -519,17 +536,21 @@ RunResult run_fm_t(Impl impl, const RunConfig& cfg,
                                                      std::move(f_fm));
   }
   ThreadedFlow flow;
+  flow.set_batch_block(cfg.batch_block);
   const Timestamp flush = 3 * cfg.wm_period + 10;
   auto& src = flow.add<RateSource<In>>(
       detail::source_config<In>(cfg, cfg.rate, flush), std::move(gen));
   auto& sink = flow.add<MeasuringSink<Out>>();
-  // Degraded mode: monitor + source-admission shedder, stack-owned (they
-  // must outlive the run, not the flow). kNone attaches neither.
+  // Degraded mode: monitor + shedder, stack-owned (they must outlive the
+  // run, not the flow). kNone attaches neither. The shed edge is source
+  // admission by default; cfg.shed_at_embed moves it to the AggBased
+  // Embed machine below (same Shedder, so attribution stays exact).
   OverloadMonitor monitor(cfg.overload);
   std::optional<Shedder> shedder;
+  const bool embed_shed = cfg.shed_at_embed && impl == Impl::kAggBased;
   if (cfg.shed.policy != ShedPolicy::kNone) {
     shedder.emplace(cfg.shed, &monitor);
-    src.set_shedder(&*shedder);
+    if (!embed_shed) src.set_shedder(&*shedder);
     flow.attach_overload(&monitor);
   }
   // Durable ingestion: the source write-ahead-logs every admitted tuple
@@ -559,6 +580,10 @@ RunResult run_fm_t(Impl impl, const RunConfig& cfg,
       flow.connect(op.out_node(), op.out(), sink, sink.in());
       auto* m = &op.embed().machine();
       m->reset_diagnostics();
+      // § 10 rider: shed at the Embed — the machine's add() consults the
+      // shedder after transport, before lift (see WindowMachine::add /
+      // SlicedEngine::add; the block path admits per tuple identically).
+      if (embed_shed && shedder) m->set_shedder(&*shedder);
       collect = [m](RunResult& r) {
         r.peak_stored = m->peak_occupancy();
         r.peak_panes = m->peak_panes();
@@ -646,6 +671,7 @@ RunResult run_join_t(Impl impl, const RunConfig& cfg,
         "inputs through one ShardPlan is future work (DESIGN.md § 13)");
   }
   ThreadedFlow flow;
+  flow.set_batch_block(cfg.batch_block);
   auto comparisons = std::make_shared<std::atomic<std::uint64_t>>(0);
   auto counted_pred = [f_p = std::move(f_p), comparisons](const L& a,
                                                           const R& b) {
